@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale notes: the paper ran on a desktop with seconds-long kernels; the
+benchmarks here default to sizes that complete in milliseconds so the
+whole suite runs in a few minutes, while preserving the *relative*
+shapes (who wins, by what factor, where the crossovers are).  The
+``report.py`` script reuses the same workloads at larger sizes to print
+paper-style tables.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    # benchmarks are ordered by figure number for readable output
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    from repro.tpch import generate
+
+    return generate(0.002, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tpch_medium():
+    from repro.tpch import generate
+
+    return generate(0.01, seed=42)

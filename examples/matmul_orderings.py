@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Attribute ordering changes asymptotics (Sections 5.4.1 and 8.1).
+
+Sparse matrix multiplication C = X·Y compiled under two attribute
+orderings:
+
+* **inner product** — loops i, j, k: for every output coordinate,
+  intersect a row of X with a row of Yᵀ; O(n²k) stream transitions.
+* **linear combination of rows** — loops i, k, j: for every nonzero
+  X(i,k), merge row k of Y into row i of the output; O(nk²).
+
+The paper measures a 40× gap on a 10 000×10 000 matrix with 200 000
+nonzeros (9.77 s vs 0.24 s); this script reproduces the experiment
+(scaled down by default; pass --full for the paper's sizes).
+"""
+
+import argparse
+import time
+
+from repro.tensor import einsum, repack
+from repro.workloads import sparse_matrix
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--n", type=int, default=2000, help="matrix dimension")
+    parser.add_argument("--nnz-per-row", type=int, default=20)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's 10000x10000 / 200k nonzeros")
+    args = parser.parse_args()
+    n = 10_000 if args.full else args.n
+    density = args.nnz_per_row / n
+
+    X = sparse_matrix(n, n, density, attrs=("i", "k"),
+                      formats=("sparse", "sparse"), seed=1)
+    Y = sparse_matrix(n, n, density, attrs=("k", "j"),
+                      formats=("sparse", "sparse"), seed=2)
+    Yt = repack(Y, ("j", "k"))   # transposed layout for the inner-product order
+    capacity = max(16, 8 * X.nnz * args.nnz_per_row)
+
+    # linear combination of rows: loops i, k, j
+    t0 = time.perf_counter()
+    rows = einsum("ik,kj->ij", X, Y,
+                  output_formats=("sparse", "sparse"),
+                  order=("i", "k", "j"),
+                  capacity=capacity, kernel_name="mm_rows")
+    t_rows = time.perf_counter() - t0
+
+    # inner product: loops i, j, k — every candidate (i, j) is visited,
+    # so the output may contain explicit zeros and needs n² capacity
+    t0 = time.perf_counter()
+    inner = einsum("ik,jk->ij", X, Yt,
+                   output_formats=("sparse", "sparse"),
+                   order=("i", "j", "k"),
+                   capacity=n * n + 16, kernel_name="mm_inner")
+    t_inner = time.perf_counter() - t0
+
+    same = inner.to_dict() == rows.to_dict() or all(
+        abs(inner.to_dict().get(key, 0.0) - v) < 1e-6
+        for key, v in rows.to_dict().items()
+    )
+    assert same, "the two algorithms must agree"
+    print(f"n = {n}, nnz = {X.nnz}, output nnz = {rows.nnz}")
+    print(f"inner product            : {t_inner:8.3f} s")
+    print(f"linear combination (rows): {t_rows:8.3f} s")
+    print(f"speedup                  : {t_inner / max(t_rows, 1e-9):8.1f}x "
+          f"(paper reports ~40x at full scale)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Baseline systems the paper compares against (Section 8).
+
+* :mod:`repro.baselines.taco` — hand-written C kernels that replicate
+  the TACO compiler's generated code (merge loops, dense workspaces)
+  for each Figure 17 expression.  The paper's claim is *relative*
+  performance against TACO's strategies, which these kernels embody.
+* :mod:`repro.baselines.pairwise` — a classical pairwise-join query
+  engine (hash joins, materialized intermediates), the plan family
+  SQLite/DuckDB use; on the triangle query it exhibits the Θ(n²)
+  intermediate the paper's Figure 20 demonstrates.
+* :mod:`repro.baselines.sqlite_bridge` — the real SQLite, via the
+  standard library, configured as in Section 8.2 (in-memory, indexed,
+  single-threaded, prepared statements).
+"""

@@ -1,0 +1,245 @@
+"""C code generation for the imperative IR **P** (Figure 2's output).
+
+Emits a single self-contained kernel function; arrays become typed
+pointers and scalar parameters ``int64_t`` values.  Compiled with
+``gcc -O3`` into a shared object and invoked through ctypes — the same
+pipeline shape as the paper's Lean → C → Clang -O3 evaluation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import subprocess
+import tempfile
+from ctypes import CDLL, POINTER, c_bool, c_double, c_int64
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.compiler.formats import Param
+from repro.compiler.ir import (
+    E,
+    fold,
+    EAccess,
+    EBinop,
+    ECall,
+    ECond,
+    ELit,
+    EUnop,
+    EVar,
+    P,
+    PAssign,
+    PComment,
+    PIf,
+    PSeq,
+    PSkip,
+    PSort,
+    PStore,
+    PWhile,
+    TBOOL,
+    TFLOAT,
+    TINT,
+    c_type,
+)
+
+_CTYPES = {TINT: c_int64, TFLOAT: c_double, TBOOL: c_bool}
+_NP_DTYPES = {TINT: np.int64, TFLOAT: np.float64, TBOOL: np.bool_}
+
+
+def np_dtype(t: str):
+    return _NP_DTYPES[t]
+
+
+def emit_expr(e: E) -> str:
+    return _emit_expr(fold(e))
+
+
+def _emit_expr(e: E) -> str:
+    if isinstance(e, EVar):
+        return e.name
+    if isinstance(e, ELit):
+        if e.type == TBOOL:
+            return "true" if e.value else "false"
+        if e.type == TFLOAT:
+            if math.isinf(e.value):
+                return "INFINITY" if e.value > 0 else "-INFINITY"
+            return repr(float(e.value))
+        return str(int(e.value))
+    if isinstance(e, EAccess):
+        return f"{e.array}[{_emit_expr(e.index)}]"
+    if isinstance(e, EBinop):
+        a, b = _emit_expr(e.left), _emit_expr(e.right)
+        if e.op == "min":
+            return f"(({a}) < ({b}) ? ({a}) : ({b}))"
+        if e.op == "max":
+            return f"(({a}) > ({b}) ? ({a}) : ({b}))"
+        return f"({a} {e.op} {b})"
+    if isinstance(e, EUnop):
+        return f"({e.op}{_emit_expr(e.operand)})"
+    if isinstance(e, ECond):
+        return f"({_emit_expr(e.cond)} ? {_emit_expr(e.then)} : {_emit_expr(e.els)})"
+    if isinstance(e, ECall):
+        return e.op.c_expr(*[_emit_expr(a) for a in e.args])
+    raise TypeError(f"cannot emit expression {e!r}")
+
+
+def emit_stmt(p: P, indent: int = 1) -> str:
+    pad = "  " * indent
+    if isinstance(p, PSkip):
+        return ""
+    if isinstance(p, PSeq):
+        return "\n".join(s for s in (emit_stmt(x, indent) for x in p.items) if s)
+    if isinstance(p, PAssign):
+        return f"{pad}{p.var.name} = {emit_expr(p.expr)};"
+    if isinstance(p, PStore):
+        return f"{pad}{p.array}[{emit_expr(p.index)}] = {emit_expr(p.expr)};"
+    if isinstance(p, PWhile):
+        body = emit_stmt(p.body, indent + 1)
+        return f"{pad}while ({emit_expr(p.cond)}) {{\n{body}\n{pad}}}"
+    if isinstance(p, PIf):
+        out = f"{pad}if ({emit_expr(p.cond)}) {{\n{emit_stmt(p.then, indent + 1)}\n{pad}}}"
+        if p.els is not None and not isinstance(p.els, PSkip):
+            out += f" else {{\n{emit_stmt(p.els, indent + 1)}\n{pad}}}"
+        return out
+    if isinstance(p, PComment):
+        return f"{pad}/* {p.text} */"
+    if isinstance(p, PSort):
+        return f"{pad}qsort({p.array}, {emit_expr(p.count)}, sizeof(int64_t), _cmp_i64);"
+    raise TypeError(f"cannot emit statement {p!r}")
+
+
+def _collect_headers(p: P, acc: Dict[str, str]) -> None:
+    def walk_e(e: E) -> None:
+        if isinstance(e, ECall):
+            if e.op.c_header:
+                acc[e.op.name] = e.op.c_header
+            for a in e.args:
+                walk_e(a)
+        elif isinstance(e, EBinop):
+            walk_e(e.left)
+            walk_e(e.right)
+        elif isinstance(e, EUnop):
+            walk_e(e.operand)
+        elif isinstance(e, ECond):
+            walk_e(e.cond)
+            walk_e(e.then)
+            walk_e(e.els)
+        elif isinstance(e, EAccess):
+            walk_e(e.index)
+
+    if isinstance(p, PSeq):
+        for x in p.items:
+            _collect_headers(x, acc)
+    elif isinstance(p, PWhile):
+        walk_e(p.cond)
+        _collect_headers(p.body, acc)
+    elif isinstance(p, PIf):
+        walk_e(p.cond)
+        _collect_headers(p.then, acc)
+        if p.els is not None:
+            _collect_headers(p.els, acc)
+    elif isinstance(p, PAssign):
+        walk_e(p.expr)
+    elif isinstance(p, PStore):
+        walk_e(p.index)
+        walk_e(p.expr)
+
+
+def emit_kernel_source(
+    name: str,
+    params: Sequence[Param],
+    decls: Sequence[EVar],
+    body: P,
+) -> str:
+    """The full C translation unit for one kernel."""
+    headers: Dict[str, str] = {}
+    _collect_headers(body, headers)
+    sig_parts = []
+    for param in params:
+        if param.kind == "array":
+            sig_parts.append(f"{c_type(param.ctype)}* {param.name}")
+        else:
+            sig_parts.append(f"{c_type(param.ctype)} {param.name}")
+    decl_lines = "\n".join(
+        f"  {c_type(v.type)} {v.name} = 0;" for v in decls
+    )
+    helper_code = "\n".join(headers.values())
+    return f"""#include <stdint.h>
+#include <stdbool.h>
+#include <math.h>
+#include <string.h>
+#include <stdlib.h>
+
+__attribute__((unused))
+static int _cmp_i64(const void* a, const void* b) {{
+  int64_t x = *(const int64_t*)a, y = *(const int64_t*)b;
+  return (x > y) - (x < y);
+}}
+
+{helper_code}
+
+void {name}({', '.join(sig_parts)}) {{
+{decl_lines}
+{emit_stmt(body)}
+}}
+"""
+
+
+class CKernel:
+    """A compiled C kernel, callable with numpy arrays."""
+
+    def __init__(self, source: str, name: str, params: Sequence[Param], cache_dir: str | None = None) -> None:
+        self.source = source
+        self.name = name
+        self.params = list(params)
+        self._lib = _build(source, name, cache_dir)
+        self._fn = getattr(self._lib, name)
+        argtypes = []
+        for p in self.params:
+            if p.kind == "array":
+                argtypes.append(POINTER(_CTYPES[p.ctype]))
+            else:
+                argtypes.append(_CTYPES[p.ctype])
+        self._fn.argtypes = argtypes
+        self._fn.restype = None
+
+    def __call__(self, env: Dict[str, object]) -> None:
+        """Invoke with ``env`` mapping parameter names to numpy arrays /
+        Python scalars.  Arrays are used in place (must be contiguous
+        and correctly typed; the kernel builder guarantees this)."""
+        args = []
+        for p in self.params:
+            v = env[p.name]
+            if p.kind == "array":
+                arr = v
+                assert isinstance(arr, np.ndarray) and arr.dtype == _NP_DTYPES[p.ctype]
+                args.append(arr.ctypes.data_as(POINTER(_CTYPES[p.ctype])))
+            else:
+                args.append(_CTYPES[p.ctype](v))
+        self._fn(*args)
+
+
+_CACHE: Dict[str, CDLL] = {}
+
+
+def _build(source: str, name: str, cache_dir: str | None = None) -> CDLL:
+    key = hashlib.sha256(source.encode()).hexdigest()[:16]
+    if key in _CACHE:
+        return _CACHE[key]
+    cache_dir = cache_dir or os.path.join(tempfile.gettempdir(), "repro_kernels")
+    os.makedirs(cache_dir, exist_ok=True)
+    c_path = os.path.join(cache_dir, f"{name}_{key}.c")
+    so_path = os.path.join(cache_dir, f"{name}_{key}.so")
+    if not os.path.exists(so_path):
+        with open(c_path, "w") as f:
+            f.write(source)
+        subprocess.run(
+            ["gcc", "-O3", "-march=native", "-shared", "-fPIC", c_path, "-o", so_path, "-lm"],
+            check=True,
+            capture_output=True,
+        )
+    lib = CDLL(so_path)
+    _CACHE[key] = lib
+    return lib

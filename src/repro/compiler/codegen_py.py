@@ -1,0 +1,168 @@
+"""Python code generation for **P** — the toolchain-free backend.
+
+Emits the same loop nest as the C backend as a Python function over
+numpy arrays (orders of magnitude slower, but requires no compiler and
+is byte-for-byte comparable in the parity tests)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import math
+
+from repro.compiler.formats import Param
+from repro.compiler.ir import (
+    E,
+    fold,
+    EAccess,
+    EBinop,
+    ECall,
+    ECond,
+    ELit,
+    EUnop,
+    EVar,
+    P,
+    PAssign,
+    PComment,
+    PIf,
+    PSeq,
+    PSkip,
+    PSort,
+    PStore,
+    PWhile,
+    TBOOL,
+    TFLOAT,
+    TINT,
+)
+
+_PY_BINOPS = {"&&": "and", "||": "or", "%": "%"}
+
+
+def emit_expr(e: E) -> str:
+    return _emit_expr(fold(e))
+
+
+def _emit_expr(e: E) -> str:
+    if isinstance(e, EVar):
+        return e.name
+    if isinstance(e, ELit):
+        if e.type == TFLOAT and math.isinf(e.value):
+            return "_inf" if e.value > 0 else "(-_inf)"
+        return repr(e.value)
+    if isinstance(e, EAccess):
+        return f"{e.array}[{_emit_expr(e.index)}]"
+    if isinstance(e, EBinop):
+        a, b = _emit_expr(e.left), _emit_expr(e.right)
+        if e.op == "min":
+            return f"min({a}, {b})"
+        if e.op == "max":
+            return f"max({a}, {b})"
+        if e.op == "/" and e.type == TINT:
+            return f"({a} // {b})"
+        op = _PY_BINOPS.get(e.op, e.op)
+        return f"({a} {op} {b})"
+    if isinstance(e, EUnop):
+        if e.op == "!":
+            return f"(not {_emit_expr(e.operand)})"
+        return f"(-{_emit_expr(e.operand)})"
+    if isinstance(e, ECond):
+        return f"({_emit_expr(e.then)} if {_emit_expr(e.cond)} else {_emit_expr(e.els)})"
+    if isinstance(e, ECall):
+        return f"_op_{e.op.name}({', '.join(_emit_expr(a) for a in e.args)})"
+    raise TypeError(f"cannot emit expression {e!r}")
+
+
+def emit_stmt(p: P, indent: int = 1) -> str:
+    pad = "    " * indent
+    if isinstance(p, PSkip):
+        return f"{pad}pass"
+    if isinstance(p, PSeq):
+        lines = [emit_stmt(x, indent) for x in p.items]
+        lines = [ln for ln in lines if ln.strip() != "pass" or len(lines) == 1]
+        return "\n".join(lines) if lines else f"{pad}pass"
+    if isinstance(p, PAssign):
+        return f"{pad}{p.var.name} = {emit_expr(p.expr)}"
+    if isinstance(p, PStore):
+        return f"{pad}{p.array}[{emit_expr(p.index)}] = {emit_expr(p.expr)}"
+    if isinstance(p, PWhile):
+        return f"{pad}while {emit_expr(p.cond)}:\n{_block(p.body, indent + 1)}"
+    if isinstance(p, PIf):
+        out = f"{pad}if {emit_expr(p.cond)}:\n{_block(p.then, indent + 1)}"
+        if p.els is not None and not isinstance(p.els, PSkip):
+            out += f"\n{pad}else:\n{_block(p.els, indent + 1)}"
+        return out
+    if isinstance(p, PComment):
+        return f"{pad}# {p.text}"
+    if isinstance(p, PSort):
+        return f"{pad}{p.array}[:{emit_expr(p.count)}].sort()"
+    raise TypeError(f"cannot emit statement {p!r}")
+
+
+def _block(p: P, indent: int) -> str:
+    body = emit_stmt(p, indent)
+    return body if body.strip() else "    " * indent + "pass"
+
+
+def _collect_ops(p: P, acc: Dict[str, object]) -> None:
+    def walk_e(e: E) -> None:
+        if isinstance(e, ECall):
+            acc[e.op.name] = e.op.spec
+            for a in e.args:
+                walk_e(a)
+        elif isinstance(e, EBinop):
+            walk_e(e.left)
+            walk_e(e.right)
+        elif isinstance(e, EUnop):
+            walk_e(e.operand)
+        elif isinstance(e, ECond):
+            walk_e(e.cond)
+            walk_e(e.then)
+            walk_e(e.els)
+        elif isinstance(e, EAccess):
+            walk_e(e.index)
+
+    if isinstance(p, PSeq):
+        for x in p.items:
+            _collect_ops(x, acc)
+    elif isinstance(p, PWhile):
+        walk_e(p.cond)
+        _collect_ops(p.body, acc)
+    elif isinstance(p, PIf):
+        walk_e(p.cond)
+        _collect_ops(p.then, acc)
+        if p.els is not None:
+            _collect_ops(p.els, acc)
+    elif isinstance(p, PAssign):
+        walk_e(p.expr)
+    elif isinstance(p, PStore):
+        walk_e(p.index)
+        walk_e(p.expr)
+
+
+def emit_kernel_source(name: str, params: Sequence[Param], decls, body: P) -> str:
+    arg_list = ", ".join(p.name for p in params)
+    decl_lines = "\n".join(
+        f"    {v.name} = " + ("0.0" if v.type == TFLOAT else "False" if v.type == TBOOL else "0")
+        for v in decls
+    )
+    return f"def {name}({arg_list}):\n{decl_lines}\n{emit_stmt(body)}\n"
+
+
+class PyKernel:
+    """A kernel executed as generated Python code."""
+
+    def __init__(self, name: str, params: Sequence[Param], decls, body: P) -> None:
+        source = emit_kernel_source(name, params, decls, body)
+        ops: Dict[str, object] = {}
+        _collect_ops(body, ops)
+        self.source = source
+        self.name = name
+        self.params = list(params)
+        namespace: Dict[str, object] = {"_inf": math.inf}
+        for op_name, spec in ops.items():
+            namespace[f"_op_{op_name}"] = spec
+        exec(compile(source, f"<kernel {name}>", "exec"), namespace)
+        self._fn = namespace[name]
+
+    def __call__(self, env: Dict[str, object]) -> None:
+        self._fn(*[env[p.name] for p in self.params])

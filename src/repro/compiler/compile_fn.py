@@ -1,0 +1,51 @@
+"""The core code generation function (Figure 15/16).
+
+``compile_stream(dest, s)`` emits a while loop that traverses the
+syntactic stream ``s`` and accumulates its evaluation into ``dest``,
+recursing into nested streams for inner loops.  The structure follows
+the equational derivation of Figure 16:
+
+    init;
+    while (valid) {
+        i = index;                 // saved so skips see a stable value
+        if (ready) { push; compile(sub-dest, value); skip1(i); }
+        else      { skip0(i); }
+    }
+
+Contracted (dummy) levels have no index and no push; their skips close
+over the inner index themselves (Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.dest import Dest
+from repro.compiler.ir import E, NameGen, P, PAssign, PIf, PSeq, PWhile
+from repro.compiler.sstream import SStream, is_sstream
+from repro.streams.base import STAR
+
+
+def compile_stream(dest: Dest, s, ng: NameGen) -> P:
+    """Emit code accumulating ⟦s⟧ into ``dest`` (the paper's Hoare
+    triple {out ↦ v} compile out q {out ↦ v + ⟦q⟧})."""
+    if not is_sstream(s):
+        # base case: a scalar expression
+        return dest.store(s)
+    assert isinstance(s, SStream)
+    if s.attr is STAR:
+        step = s.advance1 if s.advance1 is not None else s.skip1(None)
+        hot = PSeq(compile_stream(dest, s.value, ng), step)
+        if repr(s.ready) == repr(s.valid):
+            body = hot  # ready whenever valid: no branch needed
+        else:
+            body = PIf(s.ready, hot, s.skip0(None))
+        return PSeq(s.init, PWhile(s.valid, body))
+    assert s.index is not None
+    i = ng.fresh(f"ix_{s.attr}")
+    pre, sub, post = dest.push(i)
+    step = s.advance1 if s.advance1 is not None else s.skip1(i)
+    hot = PSeq(pre, compile_stream(sub, s.value, ng), post, step)
+    if repr(s.ready) == repr(s.valid):
+        body = PSeq(PAssign(i, s.index), hot)
+    else:
+        body = PSeq(PAssign(i, s.index), PIf(s.ready, hot, s.skip0(i)))
+    return PSeq(s.init, PWhile(s.valid, body))

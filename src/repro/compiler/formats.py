@@ -1,0 +1,160 @@
+"""Input bindings: data structures and functions as syntactic streams.
+
+Each variable of a contraction expression is bound either to a
+:class:`TensorInput` (a concrete :class:`~repro.data.Tensor`, lowered to
+a chain of sparse/dense levels reading its pos/crd/vals arrays) or to a
+:class:`FunctionInput` (a user-defined operation used as data — the
+paper encodes predicates like Q9's substring match as boolean-valued
+indexed streams, Section 8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.ir import (
+    E,
+    EAccess,
+    EBinop,
+    ECall,
+    EVar,
+    NameGen,
+    Op,
+    TINT,
+    ilit,
+)
+from repro.compiler.scalars import ScalarOps
+from repro.compiler.sstream import (
+    SStream,
+    Value,
+    dense_level,
+    function_level,
+    sparse_level,
+)
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter: an array or a scalar."""
+
+    name: str
+    kind: str       # "array" | "scalar"
+    ctype: str      # element type for arrays, value type for scalars
+
+
+class TensorInput:
+    """A tensor-shaped variable binding (formats, not data).
+
+    Only the *structure* (attrs, formats, value type) is needed to
+    build the kernel; the actual arrays are supplied at run time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Sequence[str],
+        formats: Sequence[str],
+        ops: ScalarOps,
+    ) -> None:
+        self.name = name
+        self.attrs = tuple(attrs)
+        self.formats = tuple(formats)
+        self.ops = ops
+
+    @property
+    def rank(self) -> int:
+        return len(self.attrs)
+
+    def params(self) -> List[Param]:
+        out: List[Param] = []
+        for k, fmt in enumerate(self.formats):
+            if fmt == "sparse":
+                out.append(Param(f"{self.name}_pos{k}", "array", TINT))
+                out.append(Param(f"{self.name}_crd{k}", "array", TINT))
+            else:
+                out.append(Param(f"{self.name}_dim{k}", "scalar", TINT))
+        out.append(Param(f"{self.name}_vals", "array", self.ops.type))
+        return out
+
+    def sstream(self, ng: NameGen, search: str = "linear") -> Value:
+        """The nested syntactic stream reading this tensor's arrays."""
+
+        def build(level: int, slot: E) -> Value:
+            if level == self.rank:
+                return EAccess(f"{self.name}_vals", slot, self.ops.type)
+            attr = self.attrs[level]
+            shape = self.attrs[level:]
+            if self.formats[level] == "sparse":
+                pos = f"{self.name}_pos{level}"
+                lo = EAccess(pos, slot, TINT)
+                hi = EAccess(pos, EBinop("+", slot, ilit(1), TINT), TINT)
+                return sparse_level(
+                    ng,
+                    attr,
+                    f"{self.name}_crd{level}",
+                    lo,
+                    hi,
+                    lambda q: build(level + 1, q),
+                    shape,
+                    search=search,
+                )
+            dim = EVar(f"{self.name}_dim{level}", TINT)
+            return dense_level(
+                ng,
+                attr,
+                dim,
+                lambda i: build(
+                    level + 1, EBinop("+", EBinop("*", slot, dim, TINT), i, TINT)
+                ),
+                shape,
+            )
+
+        return build(0, ilit(0))
+
+
+class FunctionInput:
+    """A variable bound to a user-defined operation over its attributes.
+
+    The op receives one integer index per attribute and returns a
+    scalar; the stream is always ready (an implicitly represented,
+    possibly infinite stream) so it must be multiplied by finite data.
+    ``dims`` optionally bounds each level, making the stream finite.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Sequence[str],
+        op: Op,
+        ops: ScalarOps,
+        dims: Optional[Sequence[Optional[int]]] = None,
+    ) -> None:
+        if len(op.arg_types) != len(attrs):
+            raise ValueError(
+                f"op {op.name!r} arity {op.arity} != {len(attrs)} attributes"
+            )
+        self.name = name
+        self.attrs = tuple(attrs)
+        self.op = op
+        self.ops = ops
+        self.dims = tuple(dims) if dims is not None else (None,) * len(attrs)
+
+    def params(self) -> List[Param]:
+        return []
+
+    def sstream(self, ng: NameGen, search: str = "linear") -> Value:
+        def build(level: int, idxs: Tuple[E, ...]) -> Value:
+            if level == len(self.attrs):
+                return ECall(self.op, list(idxs))
+            attr = self.attrs[level]
+            dim = self.dims[level]
+            return function_level(
+                ng,
+                attr,
+                lambda i: build(level + 1, idxs + (i,)),
+                self.attrs[level:],
+                dim=None if dim is None else ilit(dim),
+            )
+
+        return build(0, ())

@@ -1,0 +1,404 @@
+"""The target languages **P** and **E** (Figure 11) and ``Op`` (Figure 12).
+
+**E** is a pure expression language: variables, array accesses, literals,
+built-in operators, conditionals, and calls to *user-defined operations*
+(:class:`Op`), the paper's extension mechanism for embedding external
+procedures.  **P** is a small imperative language with sequencing,
+while, branch, assignment, and array stores.  Both map directly to C
+and to Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+# ----------------------------------------------------------------------
+# types
+# ----------------------------------------------------------------------
+TINT = "int"      # 64-bit integer (indices, positions)
+TFLOAT = "float"  # double
+TBOOL = "bool"
+
+_C_TYPES = {TINT: "int64_t", TFLOAT: "double", TBOOL: "bool"}
+
+
+def c_type(t: str) -> str:
+    return _C_TYPES[t]
+
+
+# ----------------------------------------------------------------------
+# user-defined operations (Figure 12)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Op:
+    """A user-defined operation: name, type, functional spec, and code.
+
+    ``spec`` is the Python-level functional specification (used by the
+    interpreter and the Python backend); ``c_expr`` renders a C
+    expression from argument strings; ``c_header`` optionally supplies
+    a C definition emitted once per kernel (e.g. a helper function).
+    Like the paper's ``Op.add``, built-in arithmetic is unprivileged —
+    it is expressed with the same mechanism users extend.
+    """
+
+    name: str
+    arg_types: Tuple[str, ...]
+    ret_type: str
+    spec: Callable[..., Any]
+    c_expr: Callable[..., str]
+    c_header: str = ""
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class E:
+    """Base class for expressions.  Immutable, side-effect free."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type_: str) -> None:
+        self.type = type_
+
+
+class EVar(E):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, type_: str = TINT) -> None:
+        super().__init__(type_)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class ELit(E):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any, type_: str) -> None:
+        super().__init__(type_)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class EAccess(E):
+    """Array access ``arr[idx]``."""
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: str, index: E, type_: str) -> None:
+        super().__init__(type_)
+        self.array = array
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"{self.array}[{self.index!r}]"
+
+
+_BINOPS = {
+    "+", "-", "*", "/", "%",
+    "<", "<=", ">", ">=", "==", "!=",
+    "&&", "||", "min", "max",
+}
+
+
+class EBinop(E):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: E, right: E, type_: str) -> None:
+        if op not in _BINOPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        super().__init__(type_)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class EUnop(E):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: E, type_: str) -> None:
+        if op not in ("!", "-"):
+            raise ValueError(f"unknown unary operator {op!r}")
+        super().__init__(type_)
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+class ECond(E):
+    """Conditional expression ``c ? t : f``."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: E, then: E, els: E) -> None:
+        super().__init__(then.type)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+    def __repr__(self) -> str:
+        return f"({self.cond!r} ? {self.then!r} : {self.els!r})"
+
+
+class ECall(E):
+    """A fully applied call to a user-defined operation."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: Op, args: Sequence[E]) -> None:
+        if len(args) != op.arity:
+            raise ValueError(f"{op.name} expects {op.arity} args, got {len(args)}")
+        super().__init__(op.ret_type)
+        self.op = op
+        self.args = tuple(args)
+
+    def __repr__(self) -> str:
+        return f"{self.op.name}({', '.join(map(repr, self.args))})"
+
+
+# convenience constructors ------------------------------------------------
+def ilit(n: int) -> ELit:
+    return ELit(int(n), TINT)
+
+
+def blit(b: bool) -> ELit:
+    return ELit(bool(b), TBOOL)
+
+
+def eand(*xs: E) -> E:
+    xs = [x for x in xs if not (isinstance(x, ELit) and x.value is True)]
+    if not xs:
+        return blit(True)
+    out = xs[0]
+    for x in xs[1:]:
+        out = EBinop("&&", out, x, TBOOL)
+    return out
+
+
+def eor(*xs: E) -> E:
+    xs = [x for x in xs if not (isinstance(x, ELit) and x.value is False)]
+    if not xs:
+        return blit(False)
+    out = xs[0]
+    for x in xs[1:]:
+        out = EBinop("||", out, x, TBOOL)
+    return out
+
+
+def emax(a: E, b: E) -> E:
+    return EBinop("max", a, b, a.type)
+
+
+def emin(a: E, b: E) -> E:
+    return EBinop("min", a, b, a.type)
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+class P:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+class PSkip(P):
+    """No-op (unrelated to stream skip)."""
+
+    def __repr__(self) -> str:
+        return "skip"
+
+
+class PSeq(P):
+    __slots__ = ("items",)
+
+    def __init__(self, *items: P) -> None:
+        flat = []
+        for item in items:
+            if isinstance(item, PSeq):
+                flat.extend(item.items)
+            elif not isinstance(item, PSkip):
+                flat.append(item)
+        self.items = tuple(flat)
+
+    def __repr__(self) -> str:
+        return "; ".join(map(repr, self.items)) or "skip"
+
+
+class PWhile(P):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: E, body: P) -> None:
+        self.cond = cond
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"while ({self.cond!r}) {{ {self.body!r} }}"
+
+
+class PIf(P):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: E, then: P, els: Optional[P] = None) -> None:
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+    def __repr__(self) -> str:
+        tail = f" else {{ {self.els!r} }}" if self.els is not None else ""
+        return f"if ({self.cond!r}) {{ {self.then!r} }}{tail}"
+
+
+class PAssign(P):
+    """``store_var``: assignment to a local variable."""
+
+    __slots__ = ("var", "expr")
+
+    def __init__(self, var: EVar, expr: E) -> None:
+        self.var = var
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"{self.var!r} = {self.expr!r}"
+
+
+class PStore(P):
+    """``store_mem``: assignment to an array element."""
+
+    __slots__ = ("array", "index", "expr")
+
+    def __init__(self, array: str, index: E, expr: E) -> None:
+        self.array = array
+        self.index = index
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"{self.array}[{self.index!r}] = {self.expr!r}"
+
+
+class PComment(P):
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"/* {self.text} */"
+
+
+class PSort(P):
+    """Sort the first ``count`` elements of an int64 array in place.
+
+    Used by workspace destinations to order coordinates accumulated out
+    of order (the compression step of a TACO-style workspace)."""
+
+    __slots__ = ("array", "count")
+
+    def __init__(self, array: str, count: E) -> None:
+        self.array = array
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"sort({self.array}, {self.count!r})"
+
+
+# ----------------------------------------------------------------------
+# constant folding
+# ----------------------------------------------------------------------
+def fold(e: E) -> E:
+    """Structurally simplify an expression: fold integer-literal
+    arithmetic and algebraic identities (0+x, 0*x, 1*x, x-0).  Used by
+    the code generators so the emitted source is readable; the C
+    compiler would fold these anyway."""
+    if isinstance(e, EBinop):
+        left = fold(e.left)
+        right = fold(e.right)
+        lint = left.value if isinstance(left, ELit) and left.type == TINT else None
+        rint = right.value if isinstance(right, ELit) and right.type == TINT else None
+        if lint is not None and rint is not None:
+            table = {
+                "+": lambda: lint + rint,
+                "-": lambda: lint - rint,
+                "*": lambda: lint * rint,
+                "min": lambda: min(lint, rint),
+                "max": lambda: max(lint, rint),
+            }
+            if e.op in table:
+                return ELit(table[e.op](), TINT)
+            cmps = {"<": lint < rint, "<=": lint <= rint, ">": lint > rint,
+                    ">=": lint >= rint, "==": lint == rint, "!=": lint != rint}
+            if e.op in cmps:
+                return ELit(cmps[e.op], TBOOL)
+        if e.op == "+":
+            if lint == 0:
+                return right
+            if rint == 0:
+                return left
+        if e.op == "-" and rint == 0:
+            return left
+        if e.op == "*":
+            if lint == 0 or rint == 0:
+                return ELit(0, TINT)
+            if lint == 1:
+                return right
+            if rint == 1:
+                return left
+        if e.op == "&&":
+            if isinstance(left, ELit) and left.type == TBOOL:
+                return right if left.value else ELit(False, TBOOL)
+            if isinstance(right, ELit) and right.type == TBOOL and right.value:
+                return left
+        if e.op == "||":
+            if isinstance(left, ELit) and left.type == TBOOL:
+                return ELit(True, TBOOL) if left.value else right
+            if isinstance(right, ELit) and right.type == TBOOL and not right.value:
+                return left
+        return EBinop(e.op, left, right, e.type)
+    if isinstance(e, EUnop):
+        operand = fold(e.operand)
+        if e.op == "!" and isinstance(operand, ELit) and operand.type == TBOOL:
+            return ELit(not operand.value, TBOOL)
+        return EUnop(e.op, operand, e.type)
+    if isinstance(e, ECond):
+        cond = fold(e.cond)
+        if isinstance(cond, ELit) and cond.type == TBOOL:
+            return fold(e.then) if cond.value else fold(e.els)
+        return ECond(cond, fold(e.then), fold(e.els))
+    if isinstance(e, EAccess):
+        return EAccess(e.array, fold(e.index), e.type)
+    if isinstance(e, ECall):
+        return ECall(e.op, [fold(a) for a in e.args])
+    return e
+
+
+# ----------------------------------------------------------------------
+# fresh-name generation
+# ----------------------------------------------------------------------
+class NameGen:
+    """Deterministic fresh-name source (the paper's ``Name`` parameter)."""
+
+    def __init__(self, prefix: str = "") -> None:
+        self._prefix = prefix
+        self._counts: Dict[str, int] = {}
+        #: every variable handed out, for declaration at kernel entry
+        self.allocated: list = []
+
+    def fresh(self, hint: str, type_: str = TINT) -> EVar:
+        n = self._counts.get(hint, 0)
+        self._counts[hint] = n + 1
+        var = EVar(f"{self._prefix}{hint}{n}", type_)
+        self.allocated.append(var)
+        return var

@@ -1,0 +1,546 @@
+"""Kernel building: expression + formats → runnable compiled kernel.
+
+:func:`compile_kernel` runs the full Etch pipeline of Figure 1 — lower
+the contraction expression to syntactic streams, emit the loop nest
+with the destination-passing compile function, generate C (or Python),
+build, and wrap the result as a :class:`Kernel` that marshals
+:class:`~repro.data.Tensor` inputs and allocates/assembles outputs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.compiler import codegen_c, codegen_py
+from repro.compiler.compile_fn import compile_stream
+from repro.compiler.dest import (
+    DensePosDest,
+    DenseDest,
+    ScalarDest,
+    SparseInnerDest,
+    SparseLeafDest,
+    WorkspaceLeafDest,
+)
+from repro.compiler.formats import FunctionInput, Param, TensorInput
+from repro.compiler.interp import InterpKernel
+from repro.compiler.ir import EVar, NameGen, PSeq, PStore, TINT, ilit
+from repro.compiler.lower import lower
+from repro.compiler.scalars import ScalarOps, scalar_ops_for
+from repro.compiler.sstream import is_sstream
+from repro.streams.base import STAR
+from repro.data.tensor import Tensor
+from repro.krelation.schema import ShapeError
+from repro.lang.ast import Expr
+from repro.lang.typing import TypeContext, shape_of
+from repro.semirings.base import Semiring
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class CapacityError(RuntimeError):
+    """The preallocated sparse output was too small for the result."""
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """The output tensor's attrs (in global order), formats and dims."""
+
+    attrs: Tuple[str, ...]
+    formats: Tuple[str, ...]
+    dims: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not (len(self.attrs) == len(self.formats) == len(self.dims)):
+            raise ValueError("attrs, formats, dims must have equal length")
+        supported = {
+            (),
+            ("dense",),
+            ("sparse",),
+            ("dense", "dense"),
+            ("dense", "sparse"),
+            ("sparse", "sparse"),
+            ("dense", "dense", "dense"),
+        }
+        if tuple(self.formats) not in supported and not all(
+            f == "dense" for f in self.formats
+        ):
+            raise ValueError(
+                f"unsupported output format stack {self.formats}; supported: "
+                "scalar, any all-dense stack, sparse vector, CSR, DCSR"
+            )
+
+
+InputLike = Union[Tensor, TensorInput, FunctionInput]
+
+
+class Kernel:
+    """A compiled contraction kernel."""
+
+    def __init__(
+        self,
+        name: str,
+        backend_kernel,
+        params: Sequence[Param],
+        input_specs: Dict[str, Union[TensorInput, FunctionInput]],
+        output: Optional[OutputSpec],
+        ops: ScalarOps,
+        loop_ir,
+    ) -> None:
+        self.name = name
+        self._kernel = backend_kernel
+        self.params = list(params)
+        self.input_specs = input_specs
+        self.output = output
+        self.ops = ops
+        self.loop_ir = loop_ir
+        #: dimension of the dense workspace for the last output level,
+        #: or None when the output is assembled in iteration order
+        self.ws_dim: Optional[int] = None
+
+    @property
+    def source(self) -> str:
+        """The generated kernel source (C or Python, per backend)."""
+        return self._kernel.source
+
+    def run(
+        self,
+        tensors: Mapping[str, Tensor],
+        capacity: Optional[int] = None,
+    ) -> Union[Tensor, float, int, bool]:
+        """Execute on concrete tensors; returns the output tensor (or a
+        scalar for shape-∅ kernels)."""
+        env = self._marshal_inputs(tensors)
+        out_arrays = self._allocate_output(env, capacity)
+        self._kernel(env)
+        return self._assemble_output(env, out_arrays)
+
+    def _marshal_inputs(self, tensors: Mapping[str, Tensor]) -> Dict[str, object]:
+        env: Dict[str, object] = {}
+        self._validate_dims(tensors)
+        for name, spec in self.input_specs.items():
+            if isinstance(spec, FunctionInput):
+                continue
+            tensor = tensors[name]
+            _check_tensor(name, spec, tensor)
+            for k, fmt in enumerate(spec.formats):
+                if fmt == "sparse":
+                    env[f"{name}_pos{k}"] = np.ascontiguousarray(tensor.pos[k], dtype=np.int64)
+                    env[f"{name}_crd{k}"] = np.ascontiguousarray(tensor.crd[k], dtype=np.int64)
+                else:
+                    env[f"{name}_dim{k}"] = int(tensor.dims[k])
+            env[f"{name}_vals"] = np.ascontiguousarray(
+                tensor.vals, dtype=codegen_c.np_dtype(self.ops.type)
+            )
+        return env
+
+    def _validate_dims(self, tensors: Mapping[str, Tensor]) -> None:
+        """Every tensor (and the output) must agree on each attribute's
+        dimension: generated kernels index located operands without
+        bounds checks on the strength of this invariant."""
+        seen: Dict[str, Tuple[int, str]] = {}
+        items = []
+        for name, spec in self.input_specs.items():
+            if isinstance(spec, FunctionInput):
+                continue
+            tensor = tensors[name]
+            items.append((name, tensor.attrs, tensor.dims))
+        if self.output is not None:
+            items.append(("output", self.output.attrs, self.output.dims))
+        for name, attrs, dims in items:
+            for attr, dim in zip(attrs, dims):
+                if attr in seen and seen[attr][0] != int(dim):
+                    other_dim, other_name = seen[attr]
+                    raise ShapeError(
+                        f"attribute {attr!r} has dimension {dim} in {name!r} "
+                        f"but {other_dim} in {other_name!r}"
+                    )
+                seen[attr] = (int(dim), name)
+
+    def bind(self, tensors: Mapping[str, Tensor], capacity: Optional[int] = None) -> "BoundKernel":
+        """Pre-marshal the inputs and pre-allocate the outputs, returning
+        a zero-overhead callable.  This matches the evaluation
+        methodology of Section 8.2: data loaded and laid out in memory
+        once, the prepared query executed repeatedly."""
+        env = self._marshal_inputs(tensors)
+        self._allocate_output(env, capacity)
+        return BoundKernel(self, env)
+
+    # ------------------------------------------------------------------
+    def _allocate_output(self, env: Dict[str, object], capacity: Optional[int]):
+        dtype = codegen_c.np_dtype(self.ops.type)
+        zero = self.ops.semiring.zero
+        out = self.output
+        if out is None:
+            env["out_vals"] = np.full(1, zero, dtype=dtype)
+            return {}
+        if all(f == "dense" for f in out.formats):
+            size = int(np.prod(out.dims)) if out.dims else 1
+            env["out_vals"] = np.full(size, zero, dtype=dtype)
+            for k, d in enumerate(out.dims):
+                env[f"out_dim{k}"] = int(d)
+            return {}
+        cap = capacity if capacity is not None else _default_capacity(out)
+        if out.formats == ("sparse",):
+            env["out_crd0"] = np.zeros(cap, dtype=np.int64)
+            env["out_vals"] = np.full(cap, zero, dtype=dtype)
+            env["out_size"] = np.zeros(1, dtype=np.int64)
+            env["out_cap"] = cap
+        elif out.formats == ("dense", "sparse"):
+            env["out_dim0"] = int(out.dims[0])
+            env["out_pos1"] = np.zeros(out.dims[0] + 1, dtype=np.int64)
+            env["out_crd1"] = np.zeros(cap, dtype=np.int64)
+            env["out_vals"] = np.full(cap, zero, dtype=dtype)
+            env["out_size"] = np.zeros(1, dtype=np.int64)
+            env["out_cap"] = cap
+        elif out.formats == ("sparse", "sparse"):
+            row_cap = min(out.dims[0], cap)
+            env["out_crd0"] = np.zeros(row_cap, dtype=np.int64)
+            env["out_pos1"] = np.zeros(row_cap + 1, dtype=np.int64)
+            env["out_crd1"] = np.zeros(cap, dtype=np.int64)
+            env["out_vals"] = np.full(cap, zero, dtype=dtype)
+            env["out_size"] = np.zeros(2, dtype=np.int64)
+            env["out_cap"] = cap
+            env["out_row_cap"] = row_cap
+        else:  # pragma: no cover - rejected by OutputSpec
+            raise ShapeError(f"unsupported output formats {out.formats}")
+        if self.ws_dim is not None:
+            env["out_ws_vals"] = np.full(self.ws_dim, zero, dtype=dtype)
+            env["out_ws_mask"] = np.zeros(self.ws_dim, dtype=np.int64)
+            env["out_ws_list"] = np.zeros(self.ws_dim, dtype=np.int64)
+        return {}
+
+    def _assemble_output(self, env: Dict[str, object], _marker):
+        out = self.output
+        if out is None:
+            return env["out_vals"][0].item()
+        sr = self.ops.semiring
+        if all(f == "dense" for f in out.formats):
+            return Tensor(out.attrs, out.formats, out.dims, {}, {}, env["out_vals"], sr)
+        sizes = env["out_size"]
+        if "out_cap" in env:
+            leaf_size = int(sizes[-1]) if out.formats == ("sparse", "sparse") else int(sizes[0])
+            if leaf_size > env["out_cap"]:
+                raise CapacityError(
+                    f"output needs {leaf_size} entries but capacity is "
+                    f"{env['out_cap']}; re-run with a larger capacity="
+                )
+        if "out_row_cap" in env and out.formats == ("sparse", "sparse"):
+            if int(sizes[0]) > env["out_row_cap"]:
+                raise CapacityError(
+                    f"output needs {int(sizes[0])} rows but row capacity is "
+                    f"{env['out_row_cap']}; re-run with a larger capacity="
+                )
+        if out.formats == ("sparse",):
+            n = int(sizes[0])
+            return Tensor(
+                out.attrs,
+                out.formats,
+                out.dims,
+                {0: np.array([0, n], dtype=np.int64)},
+                {0: env["out_crd0"][:n]},
+                env["out_vals"][:n],
+                sr,
+            )
+        if out.formats == ("dense", "sparse"):
+            n = int(sizes[0])
+            return Tensor(
+                out.attrs,
+                out.formats,
+                out.dims,
+                {1: env["out_pos1"]},
+                {1: env["out_crd1"][:n]},
+                env["out_vals"][:n],
+                sr,
+            )
+        if out.formats == ("sparse", "sparse"):
+            n0, n1 = int(sizes[0]), int(sizes[1])
+            return Tensor(
+                out.attrs,
+                out.formats,
+                out.dims,
+                {
+                    0: np.array([0, n0], dtype=np.int64),
+                    1: env["out_pos1"][: n0 + 1],
+                },
+                {0: env["out_crd0"][:n0], 1: env["out_crd1"][:n1]},
+                env["out_vals"][:n1],
+                sr,
+            )
+        raise ShapeError(f"unsupported output formats {out.formats}")
+
+
+class BoundKernel:
+    """A kernel with inputs marshaled and outputs allocated up front.
+
+    Calling it re-runs the kernel in place; dense output buffers are
+    re-zeroed first (sparse outputs re-initialize their own counters in
+    generated setup code).  Use :meth:`result` to assemble the output
+    tensor after a call."""
+
+    def __init__(self, kernel: Kernel, env: Dict[str, object]) -> None:
+        self.kernel = kernel
+        self.env = env
+        self._dense_out = None
+        out = kernel.output
+        if out is None or all(f == "dense" for f in out.formats):
+            self._dense_out = env["out_vals"]
+        self._zero = kernel.ops.semiring.zero
+
+    def __call__(self):
+        if self._dense_out is not None:
+            self._dense_out.fill(self._zero)
+        self.kernel._kernel(self.env)
+        return self.kernel._assemble_output(self.env, {})
+
+    def run_only(self) -> None:
+        """Execute without assembling a result object (pure kernel time)."""
+        if self._dense_out is not None:
+            self._dense_out.fill(self._zero)
+        self.kernel._kernel(self.env)
+
+    def result(self):
+        return self.kernel._assemble_output(self.env, {})
+
+
+def _default_capacity(out: OutputSpec) -> int:
+    total = int(np.prod(out.dims)) if out.dims else 1
+    return max(16, min(total, 1 << 22))
+
+
+def _check_tensor(name: str, spec: TensorInput, tensor: Tensor) -> None:
+    if tuple(tensor.attrs) != spec.attrs or tuple(tensor.formats) != spec.formats:
+        raise ShapeError(
+            f"tensor for {name!r} has levels {tensor.attrs}/{tensor.formats}, "
+            f"kernel expects {spec.attrs}/{spec.formats}"
+        )
+
+
+class KernelBuilder:
+    """Configurable front door to the compiler."""
+
+    def __init__(
+        self,
+        ctx: TypeContext,
+        semiring: Semiring,
+        backend: str = "c",
+        search: str = "linear",
+        locate: bool = True,
+    ) -> None:
+        if backend not in ("c", "python", "interp"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.ctx = ctx
+        self.ops = scalar_ops_for(semiring)
+        self.backend = backend
+        self.search = search
+        self.locate = locate
+
+    def build(
+        self,
+        expr: Expr,
+        inputs: Mapping[str, InputLike],
+        output: Optional[OutputSpec] = None,
+        name: str = "kernel",
+        attr_dims: Optional[Mapping[str, int]] = None,
+    ) -> Kernel:
+        if not _IDENT.match(name):
+            raise ValueError(f"kernel name {name!r} is not a valid identifier")
+        specs: Dict[str, Union[TensorInput, FunctionInput]] = {}
+        for var, binding in inputs.items():
+            if not _IDENT.match(var):
+                raise ValueError(f"variable name {var!r} is not a valid identifier")
+            if isinstance(binding, Tensor):
+                specs[var] = TensorInput(var, binding.attrs, binding.formats, self.ops)
+            else:
+                specs[var] = binding
+
+        expr_shape = shape_of(expr, self.ctx)
+        out_attrs = self.ctx.schema.sort_shape(expr_shape)
+        if output is None and out_attrs:
+            raise ShapeError(
+                f"expression has shape {out_attrs}; an OutputSpec is required"
+            )
+        if output is not None and tuple(output.attrs) != out_attrs:
+            raise ShapeError(
+                f"output attrs {output.attrs} != expression shape {out_attrs}"
+            )
+
+        dims = dict(attr_dims or {})
+        if output is not None:
+            for a, d in zip(output.attrs, output.dims):
+                dims.setdefault(a, d)
+
+        ng = NameGen()
+        stream = lower(
+            expr, self.ctx, specs, self.ops, ng, search=self.search,
+            attr_dims=dims, locate=self.locate,
+        )
+
+        workspace = _workspace_needed(stream, output)
+        dest, out_params, size_stores = _build_dest(output, self.ops, ng, workspace)
+        body = PSeq(
+            dest.setup(),
+            compile_stream(dest, stream, ng),
+            dest.finalize(),
+            size_stores,
+        )
+
+        params: list = []
+        for var in sorted(specs):
+            params.extend(specs[var].params())
+        params.extend(out_params)
+
+        if self.backend == "c":
+            source = codegen_c.emit_kernel_source(name, params, ng.allocated, body)
+            backend_kernel = codegen_c.CKernel(source, name, params)
+        elif self.backend == "python":
+            backend_kernel = codegen_py.PyKernel(name, params, ng.allocated, body)
+        else:
+            backend_kernel = InterpKernel(name, params, ng.allocated, body)
+        kernel = Kernel(name, backend_kernel, params, specs, output, self.ops, body)
+        kernel.ws_dim = output.dims[-1] if workspace else None
+        return kernel
+
+
+def _level_sequence(stream) -> list:
+    """The full level labels of a lowered stream, dummy levels included."""
+    seq = []
+    s = stream
+    while is_sstream(s):
+        seq.append(s.attr)
+        s = s.value
+    return seq
+
+
+def _workspace_needed(stream, output: Optional[OutputSpec]) -> bool:
+    """Whether the last output level is revisited out of order.
+
+    An output level receives in-order pushes as long as no contracted
+    (dummy) level sits between it and the previous output level in the
+    compiled loop nest; a dummy level in between re-runs the inner loop
+    for the same slice (e.g. Σ_j above the k loop in matmul).  Dense
+    outputs accumulate by random access and never need a workspace.
+    """
+    if output is None or all(f == "dense" for f in output.formats):
+        return False
+    seq = _level_sequence(stream)
+    prev = -1
+    revisited = []
+    for attr in output.attrs:
+        p = seq.index(attr)
+        revisited.append(any(seq[k] is STAR for k in range(prev + 1, p)))
+        prev = p
+    if any(revisited[:-1]):
+        raise ShapeError(
+            "a non-innermost sparse output level is iterated out of order "
+            f"(loop nest {seq}); materialize a temporary or choose a dense "
+            "format for the upper output levels"
+        )
+    return revisited[-1]
+
+
+def _build_dest(output: Optional[OutputSpec], ops: ScalarOps, ng: NameGen, workspace: bool = False):
+    """Destination + output params + size bookkeeping for an OutputSpec."""
+    vtype = ops.type
+    if output is None:
+        acc = ng.fresh("acc", vtype)
+        dest = ScalarDest(ops, acc, out_array="out_vals")
+        return dest, [Param("out_vals", "array", vtype)], PSeq()
+    fmts = tuple(output.formats)
+    if all(f == "dense" for f in fmts):
+        dims = [EVar(f"out_dim{k}", TINT) for k in range(len(fmts))]
+        dest = DenseDest(ops, "out_vals", dims)
+        params = [Param(f"out_dim{k}", "scalar", TINT) for k in range(len(fmts))]
+        params.append(Param("out_vals", "array", vtype))
+        return dest, params, PSeq()
+
+    ws_params = [
+        Param("out_ws_vals", "array", vtype),
+        Param("out_ws_mask", "array", TINT),
+        Param("out_ws_list", "array", TINT),
+    ]
+
+    cap = EVar("out_cap", TINT)
+    cap_params = [Param("out_cap", "scalar", TINT)]
+
+    def leaf_dest(crd: str, counter):
+        if workspace:
+            return WorkspaceLeafDest(
+                ops, ng, crd, "out_vals", counter,
+                "out_ws_vals", "out_ws_mask", "out_ws_list", cap,
+            )
+        return SparseLeafDest(ops, crd, "out_vals", counter, cap)
+
+    if fmts == ("sparse",):
+        n = ng.fresh("on", TINT)
+        dest = leaf_dest("out_crd0", n)
+        params = [
+            Param("out_crd0", "array", TINT),
+            Param("out_vals", "array", vtype),
+            Param("out_size", "array", TINT),
+        ] + cap_params + (ws_params if workspace else [])
+        return dest, params, PStore("out_size", ilit(0), n)
+    if fmts == ("dense", "sparse"):
+        n1 = ng.fresh("on", TINT)
+        leaf = leaf_dest("out_crd1", n1)
+        dest = DensePosDest(ops, ng, EVar("out_dim0", TINT), "out_pos1", leaf, n1)
+        params = [
+            Param("out_dim0", "scalar", TINT),
+            Param("out_pos1", "array", TINT),
+            Param("out_crd1", "array", TINT),
+            Param("out_vals", "array", vtype),
+            Param("out_size", "array", TINT),
+        ] + cap_params + (ws_params if workspace else [])
+        return dest, params, PStore("out_size", ilit(0), n1)
+    if fmts == ("sparse", "sparse"):
+        n1 = ng.fresh("on", TINT)
+        n0 = ng.fresh("on", TINT)
+        leaf = leaf_dest("out_crd1", n1)
+        dest = SparseInnerDest(
+            ops, ng, "out_crd0", n0, "out_pos1", leaf, n1,
+            EVar("out_row_cap", TINT),
+        )
+        params = [
+            Param("out_crd0", "array", TINT),
+            Param("out_pos1", "array", TINT),
+            Param("out_crd1", "array", TINT),
+            Param("out_vals", "array", vtype),
+            Param("out_size", "array", TINT),
+        ] + cap_params + [Param("out_row_cap", "scalar", TINT)] + (
+            ws_params if workspace else []
+        )
+        sizes = PSeq(
+            PStore("out_size", ilit(0), n0),
+            PStore("out_size", ilit(1), n1),
+        )
+        return dest, params, sizes
+    raise ShapeError(f"unsupported output formats {fmts}")
+
+
+def compile_kernel(
+    expr: Expr,
+    ctx: TypeContext,
+    inputs: Mapping[str, InputLike],
+    output: Optional[OutputSpec] = None,
+    semiring: Optional[Semiring] = None,
+    backend: str = "c",
+    search: str = "linear",
+    name: str = "kernel",
+    attr_dims: Optional[Mapping[str, int]] = None,
+    locate: bool = True,
+) -> Kernel:
+    """One-call convenience wrapper around :class:`KernelBuilder`."""
+    if semiring is None:
+        for binding in inputs.values():
+            if isinstance(binding, Tensor):
+                semiring = binding.semiring
+                break
+        else:
+            raise ValueError("semiring not given and not inferable from inputs")
+    builder = KernelBuilder(ctx, semiring, backend=backend, search=search,
+                            locate=locate)
+    return builder.build(expr, inputs, output, name=name, attr_dims=attr_dims)

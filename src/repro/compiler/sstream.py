@@ -1,0 +1,583 @@
+"""Syntactic indexed streams (Section 7.2, Figure 13).
+
+A :class:`SStream` is an indexed stream whose components are program
+fragments: ``index``/``ready``/``valid`` are **E** expressions over the
+stream's state variables, ``skip0``/``skip1`` render skip code for a
+given target index expression, and ``init`` (re)initializes the state.
+``value`` is either a nested :class:`SStream` or a scalar **E**.
+
+Level constructors (:func:`sparse_level`, :func:`dense_level`,
+:func:`function_level`) encode the primitive streams of Example 5.2;
+the combinators (:func:`smul`, :func:`sadd`, :func:`scontract`,
+:func:`sreplicate`) mirror the runtime combinators of
+:mod:`repro.streams.combinators` — compare :func:`smul` with
+Definition 5.4 and the paper's Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.compiler.ir import (
+    E,
+    EAccess,
+    EBinop,
+    ECond,
+    ELit,
+    EUnop,
+    EVar,
+    NameGen,
+    P,
+    PAssign,
+    PIf,
+    PSeq,
+    PSkip,
+    PWhile,
+    TBOOL,
+    TINT,
+    blit,
+    eand,
+    emax,
+    emin,
+    eor,
+    ilit,
+)
+from repro.compiler.scalars import ScalarOps
+from repro.streams.base import STAR
+
+Value = Union["SStream", E]
+SkipFn = Callable[[Optional[E]], P]
+
+
+@dataclass
+class SStream:
+    """A syntactic indexed stream (Figure 13).
+
+    ``attr`` is the level's attribute (or :data:`STAR` for contracted
+    levels, whose ``index`` is ``None`` and whose skip functions ignore
+    their argument).  ``shape`` is the real-attribute shape of the whole
+    nested stream.
+
+    Levels that support random access — dense and implicit levels, whose
+    value is a pure function of the index — additionally carry a
+    ``locate`` function (TACO's "locate capability"): multiplication can
+    then index into them directly rather than co-iterate, collapsing
+    e.g. SpMV's inner loop to ``y[i] += A_vals[p] * x[A_crd[p]]``.
+    ``dim`` is the level's extent (None = unbounded), used both to
+    bound located reads and to decide which operand can drive a loop.
+    """
+
+    attr: object
+    shape: Tuple[str, ...]
+    init: P
+    valid: E
+    ready: E
+    index: Optional[E]
+    value: Value
+    skip0: SkipFn
+    skip1: SkipFn
+    locate: Optional[Callable[[E], Value]] = None
+    dim: Optional[E] = None
+    #: fast path for δ at a ready state: equivalent to
+    #: ``skip1(index(q))`` there (e.g. ``q += 1`` for a strictly
+    #: monotone source), letting the common path of the emitted loop
+    #: avoid a scan.  None = no fast path; use skip1.
+    advance1: Optional[P] = None
+
+    @property
+    def locatable(self) -> bool:
+        return self.locate is not None
+
+    def with_value(self, value: Value, shape: Optional[Tuple[str, ...]] = None) -> "SStream":
+        # an opaquely replaced value invalidates the locate shortcut
+        # (it would rebuild the untransformed subtree)
+        return replace(
+            self,
+            value=value,
+            shape=self.shape if shape is None else shape,
+            locate=None,
+        )
+
+    def map_value(self, fn: Callable[[Value], Value], shape: Optional[Tuple[str, ...]] = None) -> "SStream":
+        """Transform the value while *preserving* random access: the
+        located subtree is the same transformation applied at the
+        located index."""
+        locate = None
+        if self.locate is not None:
+            old_locate = self.locate
+            locate = lambda i: fn(old_locate(i))
+        return replace(
+            self,
+            value=fn(self.value),
+            shape=self.shape if shape is None else shape,
+            locate=locate,
+        )
+
+
+def is_sstream(x: object) -> bool:
+    return isinstance(x, SStream)
+
+
+# ----------------------------------------------------------------------
+# primitive levels (Example 5.2, syntactically)
+# ----------------------------------------------------------------------
+def sparse_level(
+    ng: NameGen,
+    attr: str,
+    crd_array: str,
+    lo: E,
+    hi: E,
+    value_fn: Callable[[EVar], Value],
+    shape: Tuple[str, ...],
+    search: str = "linear",
+) -> SStream:
+    """A compressed level reading sorted coordinates from ``crd_array``
+    between positions ``lo`` and ``hi``.
+
+    ``search`` selects the skip implementation: ``"linear"`` scans
+    forward one element at a time (TACO-style merge loops), ``"binary"``
+    gallops then bisects — the variant the paper credits for the
+    ``smul`` speedup (Section 8.1).
+    """
+    if search not in ("linear", "binary"):
+        raise ValueError(f"unknown search strategy {search!r}")
+    q = ng.fresh(f"{attr}_q")
+    valid = EBinop("<", q, hi, TBOOL)
+    index = EAccess(crd_array, q, TINT)
+
+    def make_skip(strict: bool) -> SkipFn:
+        cmp_op = "<=" if strict else "<"
+
+        def skip(i: Optional[E]) -> P:
+            assert i is not None
+            within = EBinop(cmp_op, EAccess(crd_array, q, TINT), i, TBOOL)
+            if search == "linear":
+                return PWhile(
+                    eand(EBinop("<", q, hi, TBOOL), within),
+                    PAssign(q, EBinop("+", q, ilit(1), TINT)),
+                )
+            step = ng.fresh(f"{attr}_step")
+            bhi = ng.fresh(f"{attr}_bhi")
+            mid = ng.fresh(f"{attr}_mid")
+            probe = lambda pos: EBinop(cmp_op, EAccess(crd_array, pos, TINT), i, TBOOL)
+            gallop = PWhile(
+                eand(
+                    EBinop("<", EBinop("+", q, step, TINT), hi, TBOOL),
+                    probe(EBinop("+", q, step, TINT)),
+                ),
+                PSeq(
+                    PAssign(q, EBinop("+", q, step, TINT)),
+                    PAssign(step, EBinop("*", step, ilit(2), TINT)),
+                ),
+            )
+            bisect = PWhile(
+                EBinop("<", q, bhi, TBOOL),
+                PSeq(
+                    PAssign(mid, EBinop("/", EBinop("+", q, bhi, TINT), ilit(2), TINT)),
+                    PIf(
+                        probe(mid),
+                        PAssign(q, EBinop("+", mid, ilit(1), TINT)),
+                        PAssign(bhi, mid),
+                    ),
+                ),
+            )
+            return PSeq(
+                PIf(
+                    eand(EBinop("<", q, hi, TBOOL), probe(q)),
+                    PSeq(
+                        PAssign(step, ilit(1)),
+                        gallop,
+                        PAssign(bhi, emin(EBinop("+", q, step, TINT), hi)),
+                        PAssign(q, EBinop("+", q, ilit(1), TINT)),
+                        bisect,
+                    ),
+                ),
+            )
+
+        return skip
+
+    return SStream(
+        attr=attr,
+        shape=shape,
+        init=PAssign(q, lo),
+        valid=valid,
+        ready=valid,
+        index=index,
+        value=value_fn(q),
+        skip0=make_skip(strict=False),
+        skip1=make_skip(strict=True),
+        advance1=PAssign(q, EBinop("+", q, ilit(1), TINT)),
+    )
+
+
+def dense_level(
+    ng: NameGen,
+    attr: str,
+    dim: E,
+    value_fn: Callable[[EVar], Value],
+    shape: Tuple[str, ...],
+) -> SStream:
+    """A dense level iterating indices ``0 .. dim-1`` directly."""
+    i = ng.fresh(f"{attr}_i")
+    valid = EBinop("<", i, dim, TBOOL)
+
+    def skip0(j: Optional[E]) -> P:
+        assert j is not None
+        return PIf(EBinop(">", j, i, TBOOL), PAssign(i, j))
+
+    def skip1(j: Optional[E]) -> P:
+        assert j is not None
+        j1 = EBinop("+", j, ilit(1), TINT)
+        return PIf(EBinop(">", j1, i, TBOOL), PAssign(i, j1))
+
+    return SStream(
+        attr=attr,
+        shape=shape,
+        init=PAssign(i, ilit(0)),
+        valid=valid,
+        ready=valid,
+        index=i,
+        value=value_fn(i),
+        skip0=skip0,
+        skip1=skip1,
+        locate=value_fn,
+        dim=dim,
+        advance1=PAssign(i, EBinop("+", i, ilit(1), TINT)),
+    )
+
+
+def function_level(
+    ng: NameGen,
+    attr: str,
+    value_fn: Callable[[EVar], Value],
+    shape: Tuple[str, ...],
+    dim: Optional[E] = None,
+) -> SStream:
+    """An implicitly represented level: always ready, value computed
+    from the index variable (Section 7.2's "implicit" streams).
+
+    With ``dim=None`` the level is *infinite* (valid is the literal
+    true); such levels encode ⇑ and user-defined functions and must be
+    multiplied by a finite stream before compilation of an enclosing
+    loop."""
+    i = ng.fresh(f"{attr}_i")
+    valid = blit(True) if dim is None else EBinop("<", i, dim, TBOOL)
+
+    def skip0(j: Optional[E]) -> P:
+        assert j is not None
+        return PIf(EBinop(">", j, i, TBOOL), PAssign(i, j))
+
+    def skip1(j: Optional[E]) -> P:
+        assert j is not None
+        j1 = EBinop("+", j, ilit(1), TINT)
+        return PIf(EBinop(">", j1, i, TBOOL), PAssign(i, j1))
+
+    return SStream(
+        attr=attr,
+        shape=shape,
+        init=PAssign(i, ilit(0)),
+        valid=valid,
+        ready=valid,
+        index=i,
+        value=value_fn(i),
+        skip0=skip0,
+        skip1=skip1,
+        locate=value_fn,
+        dim=dim,
+        advance1=PAssign(i, EBinop("+", i, ilit(1), TINT)),
+    )
+
+
+def sreplicate(ng: NameGen, attr: str, value: Value, dim: Optional[E] = None) -> SStream:
+    """The expansion operator ⇑_attr as a syntactic stream: it stores
+    one value and makes it available at every index (Section 5.1.3)."""
+    inner_shape = value.shape if is_sstream(value) else ()
+    return function_level(
+        ng, attr, lambda _i: value, (attr,) + tuple(inner_shape), dim=dim
+    )
+
+
+# ----------------------------------------------------------------------
+# guarding (used by addition)
+# ----------------------------------------------------------------------
+def guard(cond: E, s: Value, ops: ScalarOps) -> Value:
+    """A stream equal to ``s`` while ``cond`` holds and empty otherwise.
+
+    ``cond`` must be loop-invariant for the guarded stream's lifetime
+    (it references the *enclosing* level's state)."""
+    if not is_sstream(s):
+        return ECond(cond, s, ops.zero)
+    return SStream(
+        attr=s.attr,
+        shape=s.shape,
+        init=PIf(cond, s.init),
+        valid=eand(cond, s.valid),
+        ready=s.ready,
+        index=s.index,
+        value=s.value,
+        skip0=lambda i: PIf(cond, s.skip0(i)),
+        skip1=lambda i: PIf(cond, s.skip1(i)),
+        advance1=PIf(cond, s.advance1) if s.advance1 is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# multiplication (Figure 14 / Definition 5.4)
+# ----------------------------------------------------------------------
+def smul(a: Value, b: Value, ops: ScalarOps, ng: Optional[NameGen] = None) -> Value:
+    """Product of syntactic streams, with the same dummy-level
+    dispatch rules as the runtime :func:`repro.streams.combinators.mul`.
+
+    When one operand supports random access (``locatable``) the product
+    iterates the other operand and *locates* into it — TACO's locate
+    optimization — instead of emitting a co-iteration merge loop.
+    """
+    if not is_sstream(a) and not is_sstream(b):
+        return ops.mul(a, b)
+    if is_sstream(a) and a.attr is STAR:
+        return a.map_value(lambda v: smul(v, b, ops, ng))
+    if is_sstream(b) and b.attr is STAR:
+        return b.map_value(lambda v: smul(a, v, ops, ng))
+    if not is_sstream(a):
+        return b.map_value(lambda v: smul(a, v, ops, ng))
+    if not is_sstream(b):
+        return a.map_value(lambda v: smul(v, b, ops, ng))
+    if a.attr != b.attr:
+        raise ValueError(f"cannot multiply levels {a.attr!r} and {b.attr!r}")
+    assert a.index is not None and b.index is not None
+
+    if ng is not None:
+        located = _try_locate(a, b, ops, ng)
+        if located is not None:
+            return located
+
+    advance1 = None
+    if a.advance1 is not None and b.advance1 is not None:
+        # product is ready only when both operands are ready at the same
+        # index, so advancing each past its own index is exactly skip1
+        advance1 = PSeq(a.advance1, b.advance1)
+    return SStream(
+        attr=a.attr,
+        shape=a.shape,
+        init=PSeq(a.init, b.init),
+        valid=eand(a.valid, b.valid),
+        ready=eand(a.ready, b.ready, EBinop("==", a.index, b.index, TBOOL)),
+        index=emax(a.index, b.index),
+        value=smul(a.value, b.value, ops, ng),
+        skip0=lambda i: PSeq(a.skip0(i), b.skip0(i)),
+        skip1=lambda i: PSeq(a.skip1(i), b.skip1(i)),
+        advance1=advance1,
+    )
+
+
+def _try_locate(a: SStream, b: SStream, ops: ScalarOps, ng: NameGen) -> Optional[SStream]:
+    """Iterate one operand and random-access the other, when possible.
+
+    The iterating operand must be able to *drive* the loop: sparse and
+    composite levels always terminate, while a locatable level can only
+    drive if it has a dimension bound (an unbounded implicit level is an
+    infinite stream).  When both operands are locatable the first one
+    drives, so operand order is preserved in the emitted product.
+    """
+
+    def can_drive(s: SStream) -> bool:
+        return not (s.locatable and s.dim is None)
+
+    if b.locatable and can_drive(a):
+        driver, passenger, order = a, b, "ab"
+    elif a.locatable and can_drive(b):
+        driver, passenger, order = b, a, "ba"
+    else:
+        return None
+
+    assert passenger.locate is not None and driver.index is not None
+    # the located operand reads at the driver's current index expression;
+    # any duplication is cleaned up by the C compiler's CSE.  No bounds
+    # check is needed: all operands of a level share one attribute, and
+    # the kernel wrapper validates that every tensor (and the output)
+    # agrees on each attribute's dimension, while tensor construction
+    # bounds every stored coordinate by its dimension.
+    inner = passenger.locate(driver.index)
+    if order == "ab":
+        value = smul(driver.value, inner, ops, ng)
+    else:
+        value = smul(inner, driver.value, ops, ng)
+    return replace(
+        driver,
+        value=value,
+        shape=driver.shape,
+        locate=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# addition
+# ----------------------------------------------------------------------
+def sadd(a: Value, b: Value, ops: ScalarOps, ng: NameGen) -> Value:
+    """Sum of syntactic streams (the min-merge of Section 5.1.1)."""
+    if not is_sstream(a) and not is_sstream(b):
+        return ops.add(a, b)
+    a_star = is_sstream(a) and a.attr is STAR
+    b_star = is_sstream(b) and b.attr is STAR
+    if a_star and not b_star:
+        return _sadd_streams(a, singleton_contract(ng, b, ops), ops, ng)
+    if b_star and not a_star:
+        return _sadd_streams(singleton_contract(ng, a, ops), b, ops, ng)
+    if not is_sstream(a) or not is_sstream(b):
+        raise ValueError("cannot add a scalar to a non-contracted stream")
+    return _sadd_streams(a, b, ops, ng)
+
+
+def _sadd_streams(a: SStream, b: SStream, ops: ScalarOps, ng: NameGen) -> SStream:
+    """The min-merge, mirroring :class:`repro.streams.combinators.AddStream`:
+    ready requires every live operand *at the min index* to be ready
+    itself (an unready operand at that index may still produce a value
+    there, so the sum must wait — δ's skip-to-(i, 0) lets it advance
+    internally without loss)."""
+    if a.attr != b.attr and not (a.attr is STAR and b.attr is STAR):
+        raise ValueError(f"cannot add levels {a.attr!r} and {b.attr!r}")
+    if a.attr is STAR:
+        # all indices are *, so every live side is at the merge point
+        at_a = a.valid
+        at_b = b.valid
+        index = None
+    else:
+        assert a.index is not None and b.index is not None
+        at_a = eand(
+            a.valid,
+            eor(EUnop("!", b.valid, TBOOL), EBinop("<=", a.index, b.index, TBOOL)),
+        )
+        at_b = eand(
+            b.valid,
+            eor(EUnop("!", a.valid, TBOOL), EBinop("<=", b.index, a.index, TBOOL)),
+        )
+        index = ECond(
+            eand(a.valid, b.valid),
+            emin(a.index, b.index),
+            ECond(a.valid, a.index, b.index),
+        )
+
+    ready = eand(
+        eor(at_a, at_b),
+        eor(EUnop("!", at_a, TBOOL), a.ready),
+        eor(EUnop("!", at_b, TBOOL), b.ready),
+    )
+    value = sadd(guard(at_a, a.value, ops), guard(at_b, b.value, ops), ops, ng)
+
+    def skip(fn_a: SkipFn, fn_b: SkipFn) -> SkipFn:
+        def run(i: Optional[E]) -> P:
+            return PSeq(PIf(a.valid, fn_a(i)), PIf(b.valid, fn_b(i)))
+
+        return run
+
+    return SStream(
+        attr=a.attr,
+        shape=a.shape,
+        init=PSeq(a.init, b.init),
+        valid=eor(a.valid, b.valid),
+        ready=ready,
+        index=index,
+        value=value,
+        skip0=skip(a.skip0, b.skip0),
+        skip1=skip(a.skip1, b.skip1),
+    )
+
+
+# ----------------------------------------------------------------------
+# contraction (Section 5.1.2)
+# ----------------------------------------------------------------------
+def scontract(s: SStream, ng: NameGen) -> SStream:
+    """Σ on the outermost level: forget the index; skip at the current
+    inner index (``skip(q, (*, r)) = skip(q, (index(q), r))``)."""
+    if s.attr is STAR:
+        raise ValueError("cannot contract an already-contracted level")
+    tmp = ng.fresh("ci")
+
+    def skip(fn: SkipFn) -> SkipFn:
+        def run(_i: Optional[E]) -> P:
+            assert s.index is not None
+            return PSeq(PAssign(tmp, s.index), fn(tmp))
+
+        return run
+
+    return SStream(
+        attr=STAR,
+        shape=s.shape[1:],
+        init=s.init,
+        valid=s.valid,
+        ready=s.ready,
+        index=None,
+        value=s.value,
+        skip0=skip(s.skip0),
+        skip1=skip(s.skip1),
+        advance1=s.advance1,
+    )
+
+
+def singleton_contract(ng: NameGen, value: Value, ops: ScalarOps) -> SStream:
+    """A one-shot contracted stream (dummy level emitting once); aligns
+    a non-contracted operand with a contracted one under addition."""
+    flag = ng.fresh("once")
+    shape = value.shape if is_sstream(value) else ()
+    return SStream(
+        attr=STAR,
+        shape=tuple(shape),
+        init=PAssign(flag, ilit(0)),
+        valid=EBinop("==", flag, ilit(0), TBOOL),
+        ready=blit(True),
+        index=None,
+        value=value,
+        skip0=lambda _i: PSkip(),
+        skip1=lambda _i: PAssign(flag, ilit(1)),
+        advance1=PAssign(flag, ilit(1)),
+    )
+
+
+# ----------------------------------------------------------------------
+# structural maps (Definition 5.8's map^k, syntactically)
+# ----------------------------------------------------------------------
+def deep_contract(s: Value, attr: str, ng: NameGen) -> Value:
+    """Σ_attr applied at the level labeled ``attr``."""
+    if not is_sstream(s):
+        raise ValueError(f"cannot contract {attr!r} in a scalar")
+    if s.attr == attr:
+        return scontract(s, ng)
+    if attr not in s.shape:
+        raise ValueError(f"attribute {attr!r} not in stream shape {s.shape}")
+    new_shape = tuple(x for x in s.shape if x != attr)
+    return s.map_value(lambda v: deep_contract(v, attr, ng), shape=new_shape)
+
+
+def deep_expand(
+    s: Value,
+    attr: str,
+    position: Callable[[str], int],
+    ng: NameGen,
+    dim: Optional[E] = None,
+) -> Value:
+    """⇑_attr inserted at its position in the global attribute order.
+
+    ``position`` ranks real attributes; dummy levels are descended
+    through, as in :func:`repro.lang.stream_semantics.deep_expand`."""
+    if not is_sstream(s) or (s.attr is not STAR and position(attr) < position(s.attr)):
+        return sreplicate(ng, attr, s, dim=dim)
+    if attr in s.shape:
+        raise ValueError(f"attribute {attr!r} already in stream shape {s.shape}")
+    inserted = list(s.shape)
+    at = next(
+        (k for k, x in enumerate(inserted) if position(x) > position(attr)),
+        len(inserted),
+    )
+    inserted.insert(at, attr)
+    return s.map_value(
+        lambda v: deep_expand(v, attr, position, ng, dim=dim),
+        shape=tuple(inserted),
+    )
+
+
+def map_leaf(s: Value, fn: Callable[[E], E]) -> Value:
+    """Apply an operation to every leaf value (user-defined post-ops)."""
+    if not is_sstream(s):
+        return fn(s)
+    return s.map_value(lambda v: map_leaf(v, fn))

@@ -1,0 +1,32 @@
+"""Concrete sparse/dense tensor storage (Section 7.3, Chou et al. formats).
+
+A :class:`Tensor` stores an n-dimensional K-relation as a stack of
+*levels*, each either ``dense`` (implicit coordinates, offset
+arithmetic) or ``sparse`` (compressed: pos/crd arrays).  The familiar
+formats arise as combinations:
+
+* vector: ``("dense",)`` or ``("sparse",)``
+* CSR matrix: ``("dense", "sparse")``
+* DCSR matrix: ``("sparse", "sparse")``
+* CSF 3-tensor: ``("sparse", "sparse", "sparse")``
+
+:class:`Dictionary` provides order-preserving dictionary encoding so
+attributes with string (or other) index sets can be compiled to integer
+loops, as production systems do.
+"""
+
+from repro.data.tensor import Tensor
+from repro.data.dictionary import Dictionary
+from repro.data.convert import (
+    tensor_from_dense,
+    tensor_from_krelation,
+    tensor_to_krelation,
+)
+
+__all__ = [
+    "Tensor",
+    "Dictionary",
+    "tensor_from_dense",
+    "tensor_from_krelation",
+    "tensor_to_krelation",
+]

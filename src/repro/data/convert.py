@@ -1,0 +1,54 @@
+"""Conversions between tensors, K-relations, and dense nested lists."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.data.tensor import Tensor
+from repro.krelation.relation import KRelation
+from repro.krelation.schema import Schema
+from repro.semirings.base import Semiring
+
+
+def tensor_from_krelation(
+    rel: KRelation,
+    formats: Sequence[str],
+    dims: Sequence[int],
+    order: Optional[Sequence[str]] = None,
+) -> Tensor:
+    """Pack a K-relation (with integer index values) into a tensor."""
+    attrs = tuple(order) if order is not None else rel.shape
+    if sorted(attrs) != sorted(rel.shape):
+        raise ValueError(f"order {order!r} is not a permutation of {rel.shape!r}")
+    perm = [rel.shape.index(a) for a in attrs]
+    entries = {tuple(k[p] for p in perm): v for k, v in rel.items()}
+    return Tensor.from_entries(attrs, formats, dims, entries, semiring=rel.semiring)
+
+
+def tensor_to_krelation(tensor: Tensor, schema: Schema) -> KRelation:
+    """Unpack a tensor into a K-relation over ``schema``."""
+    data = tensor.to_dict()
+    shape = schema.sort_shape(tensor.attrs)
+    if shape != tensor.attrs:
+        perm = [tensor.attrs.index(a) for a in shape]
+        data = {tuple(k[p] for p in perm): v for k, v in data.items()}
+    return KRelation(schema, tensor.semiring, shape, data)
+
+
+def tensor_from_dense(
+    attrs: Sequence[str],
+    formats: Sequence[str],
+    array: np.ndarray,
+    semiring: Semiring,
+) -> Tensor:
+    """Pack a dense numpy array, dropping zeros for sparse levels."""
+    array = np.asarray(array)
+    if array.ndim != len(attrs):
+        raise ValueError(f"array rank {array.ndim} != {len(attrs)} attrs")
+    entries = {}
+    for idx in np.argwhere(array != semiring.zero):
+        key = tuple(int(i) for i in idx)
+        entries[key] = array[tuple(idx)].item()
+    return Tensor.from_entries(attrs, formats, array.shape, entries, semiring=semiring)

@@ -1,0 +1,53 @@
+"""Order-preserving dictionary encoding.
+
+The compiler's loops iterate integer indices; attributes whose index
+sets are strings (or any ordered values) are dictionary-encoded first,
+exactly as columnar databases do.  Encoding is *order-preserving* —
+codes compare like the values they encode — so the encoded streams
+remain valid indexed streams over a totally ordered index set.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+class Dictionary:
+    """A frozen, sorted value ↔ code bijection."""
+
+    def __init__(self, values: Iterable[Any]) -> None:
+        self._values: List[Any] = sorted(set(values))
+        self._codes: Dict[Any, int] = {v: k for k, v in enumerate(self._values)}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def encode(self, value: Any) -> int:
+        try:
+            return self._codes[value]
+        except KeyError:
+            raise KeyError(f"value {value!r} not in dictionary") from None
+
+    def decode(self, code: int) -> Any:
+        return self._values[code]
+
+    def encode_many(self, values: Sequence[Any]) -> List[int]:
+        return [self.encode(v) for v in values]
+
+    def decode_many(self, codes: Sequence[int]) -> List[Any]:
+        return [self._values[c] for c in codes]
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._codes
+
+    def lower_bound(self, value: Any) -> int:
+        """The first code whose value is >= ``value`` (for range filters)."""
+        return bisect_left(self._values, value)
+
+    @property
+    def values(self) -> List[Any]:
+        return list(self._values)
+
+    def __repr__(self) -> str:
+        return f"Dictionary({len(self)} values)"

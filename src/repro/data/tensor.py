@@ -1,0 +1,187 @@
+"""Level-format tensor storage.
+
+The construction algorithm is the standard one: sort the coordinates
+lexicographically in level order, then derive each level's pos/crd
+arrays by run detection — fully vectorized with numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.semirings.base import Semiring
+from repro.semirings.instances import FLOAT
+
+_FORMATS = ("dense", "sparse")
+
+
+class Tensor:
+    """An n-dimensional tensor stored by per-level formats.
+
+    Attributes
+    ----------
+    attrs:
+        Attribute name per level, outermost first — the tensor's level
+        order must match the global attribute ordering used by a kernel.
+    formats:
+        ``"dense"`` or ``"sparse"`` per level.
+    dims:
+        Dimension per level (needed by dense levels; informative for
+        sparse ones).
+    pos, crd:
+        Per sparse level ``k``: ``pos[k]`` (int64, one entry per parent
+        slot + 1) and ``crd[k]`` (int64).
+    vals:
+        The value array (one entry per leaf slot).
+    """
+
+    def __init__(
+        self,
+        attrs: Sequence[str],
+        formats: Sequence[str],
+        dims: Sequence[int],
+        pos: Mapping[int, np.ndarray],
+        crd: Mapping[int, np.ndarray],
+        vals: np.ndarray,
+        semiring: Semiring = FLOAT,
+    ) -> None:
+        if not (len(attrs) == len(formats) == len(dims)):
+            raise ValueError("attrs, formats and dims must have equal length")
+        for fmt in formats:
+            if fmt not in _FORMATS:
+                raise ValueError(f"unknown level format {fmt!r}")
+        self.attrs = tuple(attrs)
+        self.formats = tuple(formats)
+        self.dims = tuple(int(d) for d in dims)
+        self.pos = {k: np.asarray(p, dtype=np.int64) for k, p in pos.items()}
+        self.crd = {k: np.asarray(c, dtype=np.int64) for k, c in crd.items()}
+        self.vals = np.asarray(vals)
+        self.semiring = semiring
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        return len(self.attrs)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored leaf slots (dense levels count zeros)."""
+        return int(self.vals.shape[0])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_entries(
+        cls,
+        attrs: Sequence[str],
+        formats: Sequence[str],
+        dims: Sequence[int],
+        entries: Mapping[Tuple[int, ...], Any] | Iterable[Tuple[Tuple[int, ...], Any]],
+        semiring: Semiring = FLOAT,
+        dtype: Optional[np.dtype] = None,
+    ) -> "Tensor":
+        """Build a tensor from ``{(i, j, …): value}`` entries.
+
+        Duplicate coordinates are summed (with ordinary ``+``; use
+        distinct coordinates for exotic semirings).  Coordinates must
+        lie within ``dims``.
+        """
+        items = list(entries.items() if isinstance(entries, Mapping) else entries)
+        rank = len(attrs)
+        if dtype is None:
+            dtype = _dtype_for(semiring)
+        if not items:
+            return cls._empty(attrs, formats, dims, semiring, dtype)
+        coords = np.array([k for k, _ in items], dtype=np.int64).reshape(len(items), rank)
+        values = np.array([v for _, v in items], dtype=dtype)
+        for k in range(rank):
+            if coords[:, k].min() < 0 or coords[:, k].max() >= dims[k]:
+                raise ValueError(f"coordinate out of range at level {k}")
+        # sort lexicographically in level order (outermost = primary key)
+        order = np.lexsort(tuple(coords[:, k] for k in reversed(range(rank))))
+        coords = coords[order]
+        values = values[order]
+
+        pos: Dict[int, np.ndarray] = {}
+        crd: Dict[int, np.ndarray] = {}
+        slots = np.zeros(len(items), dtype=np.int64)
+        parent_count = 1
+        for k in range(rank):
+            ck = coords[:, k]
+            if formats[k] == "dense":
+                slots = slots * dims[k] + ck
+                parent_count *= dims[k]
+            else:
+                new_run = np.ones(len(items), dtype=bool)
+                new_run[1:] = (slots[1:] != slots[:-1]) | (ck[1:] != ck[:-1])
+                crd[k] = ck[new_run]
+                counts = np.bincount(slots[new_run], minlength=parent_count)
+                pos[k] = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+                slots = np.cumsum(new_run) - 1
+                parent_count = len(crd[k])
+        from repro.semirings.instances import FloatSemiring, IntSemiring, NatSemiring
+
+        plain_add = isinstance(semiring, (FloatSemiring, IntSemiring, NatSemiring))
+        if plain_add:
+            vals = np.zeros(parent_count, dtype=dtype)
+            np.add.at(vals, slots, values)
+        else:
+            vals = np.full(parent_count, semiring.zero, dtype=dtype)
+            _acc_generic(vals, slots, values, semiring)
+        return cls(attrs, formats, dims, pos, crd, vals, semiring)
+
+    @classmethod
+    def _empty(cls, attrs, formats, dims, semiring, dtype) -> "Tensor":
+        pos: Dict[int, np.ndarray] = {}
+        crd: Dict[int, np.ndarray] = {}
+        parent_count = 1
+        for k, fmt in enumerate(formats):
+            if fmt == "dense":
+                parent_count *= dims[k]
+            else:
+                crd[k] = np.zeros(0, dtype=np.int64)
+                pos[k] = np.zeros(parent_count + 1, dtype=np.int64)
+                parent_count = 0
+        fill = semiring.zero if semiring.zero != 0 else 0
+        vals = np.full(parent_count, fill, dtype=dtype)
+        return cls(attrs, formats, dims, pos, crd, vals, semiring)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[Tuple[int, ...], Any]:
+        """All stored (coordinate, value) pairs with nonzero value."""
+        out: Dict[Tuple[int, ...], Any] = {}
+
+        def walk(level: int, slot: int, prefix: Tuple[int, ...]) -> None:
+            if level == self.order:
+                v = self.vals[slot]
+                if not self.semiring.is_zero(v.item() if hasattr(v, "item") else v):
+                    out[prefix] = v.item() if hasattr(v, "item") else v
+                return
+            if self.formats[level] == "dense":
+                for i in range(self.dims[level]):
+                    walk(level + 1, slot * self.dims[level] + i, prefix + (i,))
+            else:
+                p = self.pos[level]
+                c = self.crd[level]
+                for q in range(p[slot], p[slot + 1]):
+                    walk(level + 1, int(q), prefix + (int(c[q]),))
+
+        walk(0, 0, ())
+        return out
+
+    def __repr__(self) -> str:
+        fmts = ",".join(f"{a}:{f}" for a, f in zip(self.attrs, self.formats))
+        return f"Tensor[{fmts}](dims={self.dims}, slots={self.nnz})"
+
+
+def _acc_generic(vals, slots, values, semiring) -> None:
+    for slot, v in zip(slots.tolist(), values.tolist()):
+        vals[slot] = semiring.add(vals[slot], v)
+
+
+def _dtype_for(semiring: Semiring):
+    from repro.compiler.scalars import scalar_ops_for
+
+    ops = scalar_ops_for(semiring)
+    return {"int": np.int64, "float": np.float64, "bool": np.bool_}[ops.type]

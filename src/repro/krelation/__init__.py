@@ -1,0 +1,18 @@
+"""Schemas, tuples, and K-relations: the functional semantics 𝒯.
+
+This package implements Section 4 of the paper minus the language
+itself: attributes with totally ordered index sets (Definition 4.2),
+and K-relations — finitely supported functions from tuples to a
+semiring (Definition 4.6) — together with the standard operations the
+denotational semantics is built from (pointwise ops, projection,
+partial application, contraction, expansion, rename).
+
+The denotational semantics is the *ground truth* for the whole
+reproduction: the stream model and the compiler are both tested against
+it (Theorem 6.1).
+"""
+
+from repro.krelation.schema import Attribute, Schema, ShapeError
+from repro.krelation.relation import KRelation
+
+__all__ = ["Attribute", "Schema", "ShapeError", "KRelation"]

@@ -1,0 +1,306 @@
+"""K-relations: finitely supported functions ``I_S -> K`` (Def. 4.6).
+
+A :class:`KRelation` stores only its support, as a dict from index
+tuples (ordered by the schema's global attribute ordering) to nonzero
+semiring values.  All of the operations the denotational semantics
+``[-]^T`` needs are provided: pointwise + and *, contraction,
+expansion, rename, partial application, and the broadcast product
+(the ⇑-then-· composite, i.e. the natural join).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from repro.krelation.schema import Schema, ShapeError
+from repro.semirings.base import Semiring
+
+Key = Tuple[Any, ...]
+
+
+class KRelation:
+    """A K-relation of a given shape over a schema and semiring.
+
+    The shape is stored as an ordered tuple of attribute names sorted by
+    the schema's global ordering, and every key in ``data`` is an index
+    tuple in that order.  Zero values are never stored.
+    """
+
+    __slots__ = ("schema", "semiring", "shape", "_data")
+
+    def __init__(
+        self,
+        schema: Schema,
+        semiring: Semiring,
+        shape: Iterable[str],
+        data: Mapping[Key, Any] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.semiring = semiring
+        self.shape: Tuple[str, ...] = schema.sort_shape(shape)
+        self._data: Dict[Key, Any] = {}
+        for key, val in (data or {}).items():
+            key = tuple(key) if isinstance(key, tuple) else (key,)
+            if len(key) != len(self.shape):
+                raise ShapeError(
+                    f"key {key!r} has arity {len(key)}, shape {self.shape} "
+                    f"expects {len(self.shape)}"
+                )
+            if not semiring.is_zero(val):
+                self._data[key] = val
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, schema: Schema, semiring: Semiring, shape: Iterable[str]) -> "KRelation":
+        return cls(schema, semiring, shape, {})
+
+    @classmethod
+    def scalar(cls, schema: Schema, semiring: Semiring, value: Any) -> "KRelation":
+        if semiring.is_zero(value):
+            return cls(schema, semiring, (), {})
+        return cls(schema, semiring, (), {(): value})
+
+    @classmethod
+    def from_tuples(
+        cls,
+        schema: Schema,
+        semiring: Semiring,
+        shape: Iterable[str],
+        rows: Iterable[Mapping[str, Any]],
+        value: Any = None,
+    ) -> "KRelation":
+        """Build a relation from dict-like rows, all mapped to ``value``.
+
+        With the boolean semiring and ``value`` omitted this encodes an
+        ordinary relation (indicator function); duplicate rows are
+        summed, so the nat semiring yields bag semantics.
+        """
+        out = cls(schema, semiring, shape, {})
+        val = semiring.one if value is None else value
+        for row in rows:
+            out = out._accumulate(tuple(row[a] for a in out.shape), val)
+        return out
+
+    def _accumulate(self, key: Key, val: Any) -> "KRelation":
+        data = dict(self._data)
+        cur = data.get(key, self.semiring.zero)
+        new = self.semiring.add(cur, val)
+        if self.semiring.is_zero(new):
+            data.pop(key, None)
+        else:
+            data[key] = new
+        return KRelation(self.schema, self.semiring, self.shape, data)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __call__(self, assignment: Mapping[str, Any]) -> Any:
+        """Evaluate the relation at a tuple, given as ``{attr: index}``."""
+        missing = [a for a in self.shape if a not in assignment]
+        if missing:
+            raise ShapeError(f"assignment missing attributes {missing}")
+        key = tuple(assignment[a] for a in self.shape)
+        return self._data.get(key, self.semiring.zero)
+
+    @property
+    def support(self) -> Dict[Key, Any]:
+        return dict(self._data)
+
+    def items(self):
+        return self._data.items()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def equal(self, other: "KRelation") -> bool:
+        """Semantic equality (uses the semiring's eq, e.g. float tolerance)."""
+        if set(self.shape) != set(other.shape):
+            return False
+        other = other.reorder_like(self)
+        keys = set(self._data) | set(other._data)
+        zero = self.semiring.zero
+        return all(
+            self.semiring.eq(self._data.get(k, zero), other._data.get(k, zero))
+            for k in keys
+        )
+
+    def reorder_like(self, other: "KRelation") -> "KRelation":
+        """Re-key under ``other``'s schema ordering (same attribute set)."""
+        if set(self.shape) != set(other.shape):
+            raise ShapeError(f"shape mismatch: {self.shape} vs {other.shape}")
+        if self.shape == other.shape:
+            return self
+        perm = [self.shape.index(a) for a in other.shape]
+        data = {tuple(k[p] for p in perm): v for k, v in self._data.items()}
+        return KRelation(other.schema, self.semiring, other.shape, data)
+
+    # ------------------------------------------------------------------
+    # pointwise operations (same shape)
+    # ------------------------------------------------------------------
+    def add(self, other: "KRelation") -> "KRelation":
+        self._check_same_shape(other)
+        data = dict(self._data)
+        for key, val in other._data.items():
+            cur = data.get(key, self.semiring.zero)
+            new = self.semiring.add(cur, val)
+            if self.semiring.is_zero(new):
+                data.pop(key, None)
+            else:
+                data[key] = new
+        return KRelation(self.schema, self.semiring, self.shape, data)
+
+    def mul(self, other: "KRelation") -> "KRelation":
+        self._check_same_shape(other)
+        # iterate the smaller support; multiplication keeps operand order
+        # since semiring mul need not be commutative
+        probe = self if len(self) <= len(other) else other
+        data = {}
+        for key in probe._data:
+            if key in self._data and key in other._data:
+                prod = self.semiring.mul(self._data[key], other._data[key])
+                if not self.semiring.is_zero(prod):
+                    data[key] = prod
+        return KRelation(self.schema, self.semiring, self.shape, data)
+
+    def _check_same_shape(self, other: "KRelation") -> None:
+        if self.shape != other.shape:
+            raise ShapeError(
+                f"pointwise op on different shapes: {self.shape} vs {other.shape}"
+            )
+        if self.semiring is not other.semiring:
+            raise ShapeError("pointwise op on different semirings")
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def contract(self, attr: str) -> "KRelation":
+        """Sum out one attribute: ``(Σ_a f)(t) = Σ_{i∈I_a} f(a↦i, t)``."""
+        if attr not in self.shape:
+            raise ShapeError(f"cannot contract absent attribute {attr!r}")
+        pos = self.shape.index(attr)
+        out_shape = tuple(a for a in self.shape if a != attr)
+        data: Dict[Key, Any] = {}
+        for key, val in self._data.items():
+            new_key = key[:pos] + key[pos + 1 :]
+            cur = data.get(new_key, self.semiring.zero)
+            data[new_key] = self.semiring.add(cur, val)
+        data = {k: v for k, v in data.items() if not self.semiring.is_zero(v)}
+        return KRelation(self.schema, self.semiring, out_shape, data)
+
+    def expand(self, attr: str) -> "KRelation":
+        """Repeat across one attribute: ``(⇑_a f)(a↦i, t) = f(t)``.
+
+        Requires ``attr`` to have a finite domain in the schema, since
+        the result enumerates it.  The stream semantics does *not* have
+        this restriction; infinite expansion there stays lazy.
+        """
+        if attr in self.shape:
+            raise ShapeError(f"cannot expand present attribute {attr!r}")
+        domain = self.schema.domain(attr)
+        out_shape = self.schema.sort_shape(self.shape + (attr,))
+        pos = out_shape.index(attr)
+        data: Dict[Key, Any] = {}
+        for key, val in self._data.items():
+            for i in domain:
+                data[key[:pos] + (i,) + key[pos:]] = val
+        return KRelation(self.schema, self.semiring, out_shape, data)
+
+    def rename(self, mapping: Mapping[str, str]) -> "KRelation":
+        """Relabel attributes; must be injective on the shape.
+
+        The renamed attributes must exist in the schema with equal index
+        sets (the paper's side condition ``I_ρ(s) = I_s``).
+        """
+        new_names = []
+        for a in self.shape:
+            b = mapping.get(a, a)
+            if self.schema.attribute(a).domain != self.schema.attribute(b).domain:
+                raise ShapeError(
+                    f"rename {a!r}->{b!r} changes the index set, which is not allowed"
+                )
+            new_names.append(b)
+        if len(set(new_names)) != len(new_names):
+            raise ShapeError(f"rename is not injective on shape: {mapping}")
+        out_shape = self.schema.sort_shape(new_names)
+        perm = [new_names.index(b) for b in out_shape]
+        data = {tuple(k[p] for p in perm): v for k, v in self._data.items()}
+        return KRelation(self.schema, self.semiring, out_shape, data)
+
+    def partial(self, attr: str, index: Any) -> "KRelation":
+        """Partial application ``f(a ↦ i)`` (Section 4.4)."""
+        if attr not in self.shape:
+            raise ShapeError(f"cannot apply absent attribute {attr!r}")
+        pos = self.shape.index(attr)
+        out_shape = tuple(a for a in self.shape if a != attr)
+        data = {
+            key[:pos] + key[pos + 1 :]: val
+            for key, val in self._data.items()
+            if key[pos] == index
+        }
+        return KRelation(self.schema, self.semiring, out_shape, data)
+
+    # ------------------------------------------------------------------
+    # derived operations
+    # ------------------------------------------------------------------
+    def join(self, other: "KRelation") -> "KRelation":
+        """Broadcast product: expand both sides to the union shape, then
+        multiply pointwise.  This is the K-relation natural join and the
+        meaning of the paper's "⇑ inferred automatically" convention.
+
+        Implemented directly (hash join on the shared attributes) so it
+        works even when the fresh attributes have infinite domains.
+        """
+        if self.semiring is not other.semiring:
+            raise ShapeError("join on different semirings")
+        shared = [a for a in self.shape if a in other.shape]
+        out_shape = self.schema.sort_shape(set(self.shape) | set(other.shape))
+        spos = [self.shape.index(a) for a in shared]
+        opos = [other.shape.index(a) for a in shared]
+
+        buckets: Dict[Key, list] = {}
+        for key, val in other._data.items():
+            buckets.setdefault(tuple(key[p] for p in opos), []).append((key, val))
+
+        data: Dict[Key, Any] = {}
+        for skey, sval in self._data.items():
+            for okey, oval in buckets.get(tuple(skey[p] for p in spos), ()):
+                assignment = dict(zip(self.shape, skey))
+                assignment.update(zip(other.shape, okey))
+                key = tuple(assignment[a] for a in out_shape)
+                prod = self.semiring.mul(sval, oval)
+                cur = data.get(key, self.semiring.zero)
+                new = self.semiring.add(cur, prod)
+                if self.semiring.is_zero(new):
+                    data.pop(key, None)
+                else:
+                    data[key] = new
+        return KRelation(self.schema, self.semiring, out_shape, data)
+
+    def total(self) -> Any:
+        """Contract every attribute down to a scalar."""
+        return self.semiring.sum(self._data.values())
+
+    def to_dense(self) -> Any:
+        """Materialize as nested lists over the finite domains (small shapes)."""
+        domains = [self.schema.domain(a) for a in self.shape]
+
+        def build(prefix: Key, dims: list) -> Any:
+            if not dims:
+                return self._data.get(prefix, self.semiring.zero)
+            return [build(prefix + (i,), dims[1:]) for i in dims[0]]
+
+        return build((), list(domains))
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{dict(zip(self.shape, k))}: {v!r}"
+            for k, v in itertools.islice(self._data.items(), 4)
+        )
+        more = "" if len(self._data) <= 4 else f", … ({len(self._data)} total)"
+        return f"KRelation[{','.join(self.shape)}]({{{entries}{more}}})"

@@ -1,0 +1,146 @@
+"""Schemas: attribute sets with totally ordered index sets (Def. 4.2).
+
+A schema also fixes a *total order on the attributes themselves*; the
+stream algebra (Definition 5.8) needs this global attribute ordering to
+define which nested stream types are valid, and the compiler uses it to
+order the generated loop nest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+
+class ShapeError(TypeError):
+    """Raised when an expression or operation is used at the wrong shape."""
+
+
+class Attribute:
+    """A named dimension with a totally ordered index set.
+
+    ``domain`` optionally enumerates the index set in increasing order.
+    It is required only by operations that must *iterate* the full index
+    set — denotational evaluation of expansion, and dense storage — and
+    may be ``None`` for attributes that are only ever co-iterated
+    against finite data (the paper's "infinite support" inputs).
+    """
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: Optional[Sequence[Any]] = None) -> None:
+        if not name or name == "*":
+            raise ValueError("attribute names must be non-empty and not '*'")
+        self.name = name
+        self.domain = tuple(domain) if domain is not None else None
+        if self.domain is not None:
+            if list(self.domain) != sorted(set(self.domain)):
+                raise ValueError(
+                    f"domain of attribute {name!r} must be strictly increasing"
+                )
+
+    @property
+    def finite(self) -> bool:
+        return self.domain is not None
+
+    @property
+    def cardinality(self) -> int:
+        if self.domain is None:
+            raise ShapeError(f"attribute {self.name!r} has no finite domain")
+        return len(self.domain)
+
+    def __repr__(self) -> str:
+        dom = f", |I|={len(self.domain)}" if self.domain is not None else ""
+        return f"Attribute({self.name!r}{dom})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self.name == other.name and self.domain == other.domain
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domain))
+
+
+class Schema:
+    """A finite, totally ordered attribute set with per-attribute domains.
+
+    The declaration order of the attributes is the global attribute
+    ordering used by the stream algebra and the compiler's loop nest.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        attrs = list(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+        self._attrs: Dict[str, Attribute] = {a.name: a for a in attrs}
+        self._order: Tuple[str, ...] = tuple(names)
+
+    @classmethod
+    def of(cls, **domains: Optional[Sequence[Any]]) -> "Schema":
+        """Build a schema from keyword arguments, in declaration order.
+
+        >>> s = Schema.of(i=range(3), j=range(4), k=None)
+        """
+        return cls(
+            Attribute(name, list(dom) if dom is not None else None)
+            for name, dom in domains.items()
+        )
+
+    @property
+    def order(self) -> Tuple[str, ...]:
+        return self._order
+
+    def reorder(self, order: Sequence[str]) -> "Schema":
+        """The same schema under a different global attribute ordering."""
+        if sorted(order) != sorted(self._order):
+            raise ValueError(
+                f"reorder {order!r} is not a permutation of {self._order!r}"
+            )
+        return Schema(self._attrs[name] for name in order)
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._attrs[name]
+        except KeyError:
+            raise ShapeError(f"unknown attribute {name!r}") from None
+
+    def domain(self, name: str) -> Tuple[Any, ...]:
+        attr = self.attribute(name)
+        if attr.domain is None:
+            raise ShapeError(f"attribute {name!r} has no finite domain")
+        return attr.domain
+
+    def position(self, name: str) -> int:
+        """Position of an attribute in the global ordering."""
+        try:
+            return self._order.index(name)
+        except ValueError:
+            raise ShapeError(f"unknown attribute {name!r}") from None
+
+    def sort_shape(self, shape: Iterable[str]) -> Tuple[str, ...]:
+        """A shape (attribute set) as an ordered tuple per the global order."""
+        shape = list(shape)
+        for name in shape:
+            self.attribute(name)
+        if len(set(shape)) != len(shape):
+            raise ShapeError(f"shape has duplicate attributes: {shape}")
+        return tuple(sorted(shape, key=self.position))
+
+    def check_shape(self, shape: Iterable[str]) -> frozenset:
+        shape = frozenset(shape)
+        for name in shape:
+            self.attribute(name)
+        return shape
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attrs
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self._order)})"

@@ -1,0 +1,48 @@
+"""The contraction expression language ℒ (Section 4, Figure 4).
+
+The language has variables, + and ·, the contraction operator Σ_a, the
+expansion operator ⇑_a, and rename.  Expressions are shape-checked
+(Figure 4b) and can be evaluated three ways:
+
+* denotationally, to a :class:`~repro.krelation.KRelation`
+  (Figure 4c — the semantics 𝒯, implemented in :mod:`repro.lang.denotation`);
+* operationally, to an indexed stream (Figure 9 — the semantics 𝒮,
+  implemented in :mod:`repro.lang.stream_semantics`);
+* by compilation, to imperative code (Section 7, :mod:`repro.compiler`).
+
+Theorem 6.1 says the three agree; the test suite checks this.
+"""
+
+from repro.lang.ast import (
+    Add,
+    BroadcastAdd,
+    BroadcastMul,
+    Expand,
+    Expr,
+    Lit,
+    Mul,
+    Rename,
+    Sum,
+    Var,
+    sum_over,
+)
+from repro.lang.typing import TypeContext, elaborate, shape_of
+from repro.lang.denotation import denote
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Lit",
+    "Add",
+    "Mul",
+    "Sum",
+    "Expand",
+    "Rename",
+    "BroadcastAdd",
+    "BroadcastMul",
+    "sum_over",
+    "TypeContext",
+    "shape_of",
+    "elaborate",
+    "denote",
+]

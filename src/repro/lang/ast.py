@@ -1,0 +1,201 @@
+"""Abstract syntax of the contraction language ℒ (Figure 4a).
+
+Core constructors mirror the paper exactly: variables, + and ·,
+contraction Σ_a, expansion ⇑_a, and rename_ρ.  Two sugar nodes,
+:class:`BroadcastAdd` and :class:`BroadcastMul`, implement the paper's
+convention that "the set of attributes to expand over can be inferred
+from the argument shapes and can be omitted"; they are rewritten into
+core syntax by :func:`repro.lang.typing.elaborate`.
+
+Python's ``*`` and ``+`` operators build the broadcast forms, so
+``Sum("b", x * y)`` is the matrix product of Example 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Tuple
+
+
+class Expr:
+    """Base class for contraction expressions.  Immutable."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return BroadcastAdd(self, _as_expr(other))
+
+    def __radd__(self, other: Any) -> "Expr":
+        return BroadcastAdd(_as_expr(other), self)
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return BroadcastMul(self, _as_expr(other))
+
+    def __rmul__(self, other: Any) -> "Expr":
+        return BroadcastMul(_as_expr(other), self)
+
+    def sum(self, *attrs: str) -> "Expr":
+        """Contract one or more attributes (innermost listed last)."""
+        return sum_over(attrs, self)
+
+    def rename(self, **mapping: str) -> "Expr":
+        return Rename(dict(mapping), self)
+
+    def children(self) -> Tuple["Expr", ...]:
+        raise NotImplementedError
+
+
+def _as_expr(x: Any) -> Expr:
+    if isinstance(x, Expr):
+        return x
+    return Lit(x)
+
+
+class Var(Expr):
+    """A named input (a data structure or user-defined function)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Lit(Expr):
+    """A scalar literal (shape ∅)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Add(Expr):
+    """Pointwise addition of two same-shape expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+class Mul(Expr):
+    """Pointwise multiplication of two same-shape expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} * {self.right!r})"
+
+
+class Sum(Expr):
+    """The contraction operator Σ_a."""
+
+    __slots__ = ("attr", "body")
+
+    def __init__(self, attr: str, body: Expr) -> None:
+        self.attr = attr
+        self.body = body
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"Σ_{self.attr}({self.body!r})"
+
+
+class Expand(Expr):
+    """The expansion operator ⇑_a."""
+
+    __slots__ = ("attr", "body")
+
+    def __init__(self, attr: str, body: Expr) -> None:
+        self.attr = attr
+        self.body = body
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"⇑_{self.attr}({self.body!r})"
+
+
+class Rename(Expr):
+    """Attribute relabeling name_ρ; ρ must be injective on the shape."""
+
+    __slots__ = ("mapping", "body")
+
+    def __init__(self, mapping: Mapping[str, str], body: Expr) -> None:
+        self.mapping = dict(mapping)
+        self.body = body
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        ren = ",".join(f"{k}→{v}" for k, v in self.mapping.items())
+        return f"name[{ren}]({self.body!r})"
+
+
+class BroadcastAdd(Expr):
+    """Sugar: + with automatic ⇑ insertion on both operands."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⊕ {self.right!r})"
+
+
+class BroadcastMul(Expr):
+    """Sugar: · with automatic ⇑ insertion on both operands."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⊗ {self.right!r})"
+
+
+def sum_over(attrs: Iterable[str], body: Expr) -> Expr:
+    """Contract several attributes: ``sum_over(("a", "b"), e)`` = Σ_a Σ_b e."""
+    expr = body
+    for attr in reversed(list(attrs)):
+        expr = Sum(attr, expr)
+    return expr

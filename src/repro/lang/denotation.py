@@ -1,0 +1,93 @@
+"""Denotational semantics ⟦–⟧ᵀ of ℒ (Figure 4c).
+
+Maps a shape-checked contraction expression to a
+:class:`~repro.krelation.KRelation`, given a value context binding each
+variable to a K-relation.  This is the ground-truth semantics that both
+the stream model (Theorem 6.1) and the compiler are validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.krelation.relation import KRelation
+from repro.krelation.schema import ShapeError
+from repro.lang.ast import (
+    Add,
+    BroadcastAdd,
+    BroadcastMul,
+    Expand,
+    Expr,
+    Lit,
+    Mul,
+    Rename,
+    Sum,
+    Var,
+)
+from repro.lang.typing import TypeContext, elaborate, shape_of
+
+
+def denote(
+    expr: Expr,
+    ctx: TypeContext,
+    bindings: Mapping[str, KRelation],
+) -> KRelation:
+    """Evaluate ``expr`` to a K-relation (the semantics 𝒯 of Figure 4c).
+
+    Broadcast sugar is elaborated first; bindings must agree with the
+    typing context's shapes.
+    """
+    core = elaborate(expr, ctx)
+    for name, shape in ctx.shapes.items():
+        if name in bindings and set(bindings[name].shape) != set(shape):
+            raise ShapeError(
+                f"binding for {name!r} has shape {bindings[name].shape}, "
+                f"context declares {sorted(shape)}"
+            )
+    semiring = _find_semiring(core, bindings)
+    return _denote(core, ctx, bindings, semiring)
+
+
+def _find_semiring(expr: Expr, bindings: Mapping[str, KRelation]):
+    for node in _walk(expr):
+        if isinstance(node, Var):
+            return bindings[node.name].semiring
+    raise ShapeError("expression contains no variables; cannot infer semiring")
+
+
+def _walk(expr: Expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)
+
+
+def _denote(expr, ctx, bindings, semiring) -> KRelation:
+    if isinstance(expr, Var):
+        rel = bindings[expr.name]
+        # normalize key order to the ambient schema's attribute ordering
+        target_shape = ctx.schema.sort_shape(rel.shape)
+        if target_shape == rel.shape:
+            return KRelation(ctx.schema, rel.semiring, rel.shape, rel.support)
+        perm = [rel.shape.index(a) for a in target_shape]
+        data = {tuple(k[p] for p in perm): v for k, v in rel.items()}
+        return KRelation(ctx.schema, rel.semiring, target_shape, data)
+    if isinstance(expr, Lit):
+        value = expr.value if semiring.is_element(expr.value) else semiring.from_int(expr.value)
+        return KRelation.scalar(ctx.schema, semiring, value)
+    if isinstance(expr, Add):
+        return _denote(expr.left, ctx, bindings, semiring).add(
+            _denote(expr.right, ctx, bindings, semiring)
+        )
+    if isinstance(expr, Mul):
+        return _denote(expr.left, ctx, bindings, semiring).mul(
+            _denote(expr.right, ctx, bindings, semiring)
+        )
+    if isinstance(expr, Sum):
+        return _denote(expr.body, ctx, bindings, semiring).contract(expr.attr)
+    if isinstance(expr, Expand):
+        return _denote(expr.body, ctx, bindings, semiring).expand(expr.attr)
+    if isinstance(expr, Rename):
+        return _denote(expr.body, ctx, bindings, semiring).rename(expr.mapping)
+    if isinstance(expr, (BroadcastAdd, BroadcastMul)):
+        raise AssertionError("broadcast sugar must be elaborated before denotation")
+    raise TypeError(f"not a contraction expression: {expr!r}")

@@ -1,0 +1,112 @@
+"""Attribute-ordering utilities (Section 7.3's scheduling decisions).
+
+Compilation requires a global ordering of attributes, which controls
+the loop nest and therefore the asymptotics (Sections 5.4.1, 8.1).
+The paper uses "a very simple heuristic (putting primary keys first
+when possible)"; this module provides that heuristic plus the
+underlying consistency machinery:
+
+* :func:`consistent_order` — a global order compatible with every
+  input tensor's level order (topological sort of the precedence
+  constraints), or an explanation of why none exists;
+* :func:`primary_keys_first` — the paper's heuristic: among orders
+  consistent with all inputs, prefer to emit primary-key attributes
+  (each relation's leading attribute) early.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.krelation.schema import ShapeError
+
+
+class OrderConflictError(ShapeError):
+    """No global attribute order is consistent with all level orders."""
+
+
+def _edges(orders: Iterable[Sequence[str]]) -> Tuple[Set[str], Dict[str, Set[str]]]:
+    attrs: Set[str] = set()
+    succ: Dict[str, Set[str]] = {}
+    for order in orders:
+        order = list(order)
+        attrs.update(order)
+        for earlier, later in zip(order, order[1:]):
+            succ.setdefault(earlier, set()).add(later)
+    return attrs, succ
+
+
+def consistent_order(
+    orders: Iterable[Sequence[str]],
+    priority: Mapping[str, int] | None = None,
+) -> Tuple[str, ...]:
+    """A global attribute order compatible with every given level order.
+
+    ``priority`` breaks ties among simultaneously available attributes
+    (lower = earlier; default: lexicographic).  Raises
+    :class:`OrderConflictError` if the constraints are cyclic — i.e.
+    some tensor must be repacked before a single loop nest can serve
+    all of them.
+    """
+    orders = [list(o) for o in orders]
+    attrs, succ = _edges(orders)
+    indegree: Dict[str, int] = {a: 0 for a in attrs}
+    for earlier, laters in succ.items():
+        for later in laters:
+            indegree[later] += 1
+    priority = dict(priority or {})
+    heap: List[Tuple[int, str]] = [
+        (priority.get(a, 0), a) for a, d in indegree.items() if d == 0
+    ]
+    heapq.heapify(heap)
+    out: List[str] = []
+    while heap:
+        _, attr = heapq.heappop(heap)
+        out.append(attr)
+        for later in sorted(succ.get(attr, ())):
+            indegree[later] -= 1
+            if indegree[later] == 0:
+                heapq.heappush(heap, (priority.get(later, 0), later))
+    if len(out) != len(attrs):
+        stuck = sorted(a for a, d in indegree.items() if d > 0)
+        raise OrderConflictError(
+            f"level orders {orders} are cyclic around {stuck}; repack one "
+            "of the tensors (materialize a transposed temporary)"
+        )
+    return tuple(out)
+
+
+def primary_keys_first(
+    relations: Mapping[str, Sequence[str]],
+    output: Sequence[str] = (),
+) -> Tuple[str, ...]:
+    """The paper's §7.3 heuristic: a consistent order that emits primary
+    keys (each relation's leading attribute) as early as possible, with
+    output attributes next — so selective outer loops prune early and
+    group-by keys sit high in the nest.
+    """
+    primaries = {order[0] for order in relations.values() if order}
+    priority: Dict[str, int] = {}
+    for attr in primaries:
+        priority[attr] = -2
+    for attr in output:
+        priority.setdefault(attr, -1)
+    return consistent_order(relations.values(), priority)
+
+
+def validate_order(order: Sequence[str], tensor_orders: Iterable[Sequence[str]]) -> None:
+    """Check that every tensor's level order is a subsequence of
+    ``order`` (the validity condition of Definition 5.7)."""
+    position = {a: k for k, a in enumerate(order)}
+    for t_order in tensor_orders:
+        last = -1
+        for attr in t_order:
+            if attr not in position:
+                raise ShapeError(f"attribute {attr!r} missing from order {order}")
+            if position[attr] < last:
+                raise ShapeError(
+                    f"level order {tuple(t_order)} is not a subsequence of "
+                    f"{tuple(order)}"
+                )
+            last = position[attr]

@@ -1,0 +1,160 @@
+"""The stream semantics ⟦–⟧ˢ of ℒ (Figure 9, Definition 5.8).
+
+Interprets a contraction expression as a nested indexed stream, given a
+context binding each variable to a stream whose level order respects
+the schema's global attribute ordering.
+
+Σ and ⇑ are pushed to the correct depth with the functorial map —
+the paper's ``map^#(a,S)`` (Definition 5.8) — implemented here by
+structural descent (:func:`deep_contract` / :func:`deep_expand`), which
+also steps over dummy (``*``) levels introduced by earlier
+contractions.
+
+A rename that would put levels out of order is realized by
+materializing a temporary in the required order (the workspace
+technique of Kjolstad et al. 2019; the paper's streams can express
+temporaries, Section 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.krelation.schema import Schema, ShapeError
+from repro.lang.ast import (
+    Add,
+    Expand,
+    Expr,
+    Lit,
+    Mul,
+    Rename,
+    Sum,
+    Var,
+)
+from repro.lang.typing import TypeContext, elaborate
+from repro.semirings.base import Semiring
+from repro.streams.base import STAR, Stream, is_stream
+from repro.streams.combinators import (
+    ContractStream,
+    MapStream,
+    add,
+    mul,
+    rename as rename_stream,
+)
+from repro.streams.materialize import materialize
+from repro.streams.sources import expand_stream
+
+
+def interpret(
+    expr: Expr,
+    ctx: TypeContext,
+    bindings: Mapping[str, Any],
+) -> Any:
+    """Evaluate ``expr`` to a nested indexed stream (or scalar).
+
+    ``bindings`` maps variable names to streams (or scalars for
+    shape-∅ variables).  Streams whose level order disagrees with the
+    schema ordering are transposed by materialization.
+    """
+    core = elaborate(expr, ctx)
+    semiring = _find_semiring(core, bindings)
+    return _interpret(core, ctx, bindings, semiring)
+
+
+def _find_semiring(expr: Expr, bindings: Mapping[str, Any]) -> Semiring:
+    if isinstance(expr, Var):
+        bound = bindings[expr.name]
+        if is_stream(bound):
+            return bound.semiring
+        return None  # scalar binding: keep searching siblings
+    for child in expr.children():
+        found = _find_semiring(child, bindings)
+        if found is not None:
+            return found
+    if isinstance(expr, Var):  # pragma: no cover - handled above
+        return None
+    return None
+
+
+def _interpret(expr, ctx: TypeContext, bindings, semiring: Semiring):
+    if isinstance(expr, Var):
+        stream = bindings[expr.name]
+        if not is_stream(stream):
+            return stream
+        want = ctx.schema.sort_shape(stream.shape)
+        if tuple(stream.shape) != want:
+            stream = materialize(stream, order=want)
+        return stream
+    if isinstance(expr, Lit):
+        if semiring is None:
+            raise ShapeError("cannot infer semiring for a literal-only expression")
+        return expr.value if semiring.is_element(expr.value) else semiring.from_int(expr.value)
+    if isinstance(expr, Add):
+        return add(
+            _interpret(expr.left, ctx, bindings, semiring),
+            _interpret(expr.right, ctx, bindings, semiring),
+            semiring,
+        )
+    if isinstance(expr, Mul):
+        return mul(
+            _interpret(expr.left, ctx, bindings, semiring),
+            _interpret(expr.right, ctx, bindings, semiring),
+            semiring,
+        )
+    if isinstance(expr, Sum):
+        return deep_contract(_interpret(expr.body, ctx, bindings, semiring), expr.attr)
+    if isinstance(expr, Expand):
+        return deep_expand(
+            _interpret(expr.body, ctx, bindings, semiring),
+            expr.attr,
+            ctx.schema,
+            semiring,
+        )
+    if isinstance(expr, Rename):
+        body = _interpret(expr.body, ctx, bindings, semiring)
+        if not is_stream(body):
+            return body
+        renamed = rename_stream(body, expr.mapping)
+        want = ctx.schema.sort_shape(renamed.shape)
+        if tuple(renamed.shape) != want:
+            renamed = materialize(renamed, order=want)
+        return renamed
+    raise TypeError(f"not a core contraction expression: {expr!r}")
+
+
+def deep_contract(stream: Any, attr: str) -> Any:
+    """Apply Σ_attr at the level labeled ``attr`` (map^k Σ of Def. 5.8)."""
+    if not is_stream(stream):
+        raise ShapeError(f"cannot contract {attr!r} in a scalar")
+    if stream.attr == attr:
+        return ContractStream(stream)
+    if attr not in stream.shape:
+        raise ShapeError(f"attribute {attr!r} not in stream shape {stream.shape}")
+    new_shape = tuple(a for a in stream.shape if a != attr)
+    return MapStream(lambda v: deep_contract(v, attr), stream, new_shape)
+
+
+def deep_expand(stream: Any, attr: str, schema: Schema, semiring: Semiring) -> Any:
+    """Insert ⇑_attr at its position in the global attribute ordering
+    (map^k ⇑ of Def. 5.8).  Dummy levels are stepped over, so the new
+    level lands below any contracted levels."""
+    attribute = schema.attribute(attr)
+    if not is_stream(stream) or (
+        stream.attr is not STAR and schema.position(attr) < schema.position(stream.attr)
+    ):
+        return expand_stream(attr, stream, semiring, domain=attribute.domain)
+    if attr in stream.shape:
+        raise ShapeError(f"attribute {attr!r} already in stream shape {stream.shape}")
+    new_shape = schema_insert(stream.shape, attr, schema)
+    return MapStream(
+        lambda v: deep_expand(v, attr, schema, semiring), stream, new_shape
+    )
+
+
+def schema_insert(shape, attr: str, schema: Schema):
+    """Insert ``attr`` into an ordered shape at its schema position."""
+    out = list(shape)
+    pos = schema.position(attr)
+    at = next((k for k, a in enumerate(out) if schema.position(a) > pos), len(out))
+    out.insert(at, attr)
+    return tuple(out)

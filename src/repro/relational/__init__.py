@@ -1,0 +1,42 @@
+"""Relational algebra on top of contraction expressions (Figure 6).
+
+A :class:`Relation` is a named-perspective table (Hall et al. 1975);
+:mod:`repro.relational.algebra` translates relational-algebra operators
+into ℒ exactly as the paper's Figure 6 (union is +, join is ·, and
+projection is Σ over the dropped attributes); :mod:`repro.relational.encode`
+dictionary-encodes columns and packs relations into level-format
+tensors so queries compile through Etch.
+"""
+
+from repro.relational.relation import Relation
+from repro.relational.algebra import (
+    RAExpr,
+    RAJoin,
+    RAProject,
+    RARename,
+    RASelect,
+    RATable,
+    RAUnion,
+    ra_shape,
+    ra_to_expr,
+)
+from repro.relational.encode import ColumnEncoder, relation_to_tensor
+from repro.relational.query import Query
+from repro.relational import sql
+
+__all__ = [
+    "Relation",
+    "RAExpr",
+    "RATable",
+    "RAJoin",
+    "RAUnion",
+    "RAProject",
+    "RASelect",
+    "RARename",
+    "ra_to_expr",
+    "ra_shape",
+    "ColumnEncoder",
+    "relation_to_tensor",
+    "Query",
+    "sql",
+]

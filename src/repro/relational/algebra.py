@@ -1,0 +1,131 @@
+"""Relational algebra → ℒ, following the paper's Figure 6 exactly:
+
+====================  ==========================================
+relational operator   contraction expression
+====================  ==========================================
+union R ∪ S           R + S
+natural join R ⋈ S    R · S    (broadcast · infers the ⇑s)
+projection π_S'(R)    Σ over the dropped attributes
+selection σ_p(R)      R · p    (p a boolean-valued K-relation)
+rename ρ(R)           name_ρ(R)
+====================  ==========================================
+
+Over the boolean semiring this is set semantics; over ℕ, bag semantics;
+over floats with measure-valued relations, SUM aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping, Tuple
+
+from repro.krelation.schema import ShapeError
+from repro.lang.ast import Expr, Rename, Var, sum_over
+from repro.lang.typing import TypeContext
+
+
+class RAExpr:
+    """Base class of the small relational-algebra AST."""
+
+    def join(self, other: "RAExpr") -> "RAJoin":
+        return RAJoin(self, other)
+
+    def union(self, other: "RAExpr") -> "RAUnion":
+        return RAUnion(self, other)
+
+    def project(self, *attrs: str) -> "RAProject":
+        return RAProject(tuple(attrs), self)
+
+    def select(self, predicate_name: str) -> "RASelect":
+        return RASelect(predicate_name, self)
+
+    def rename(self, **mapping: str) -> "RARename":
+        return RARename(dict(mapping), self)
+
+
+class RATable(RAExpr):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class RAJoin(RAExpr):
+    def __init__(self, left: RAExpr, right: RAExpr) -> None:
+        self.left = left
+        self.right = right
+
+
+class RAUnion(RAExpr):
+    def __init__(self, left: RAExpr, right: RAExpr) -> None:
+        self.left = left
+        self.right = right
+
+
+class RAProject(RAExpr):
+    def __init__(self, attrs: Tuple[str, ...], body: RAExpr) -> None:
+        self.attrs = attrs
+        self.body = body
+
+
+class RASelect(RAExpr):
+    """Selection by a named predicate variable (a boolean K-relation or
+    a :class:`~repro.compiler.formats.FunctionInput`)."""
+
+    def __init__(self, predicate: str, body: RAExpr) -> None:
+        self.predicate = predicate
+        self.body = body
+
+
+class RARename(RAExpr):
+    def __init__(self, mapping: Mapping[str, str], body: RAExpr) -> None:
+        self.mapping = dict(mapping)
+        self.body = body
+
+
+def ra_shape(ra: RAExpr, ctx: TypeContext) -> FrozenSet[str]:
+    """The output attribute set of a relational-algebra expression."""
+    if isinstance(ra, RATable):
+        return ctx.shape(ra.name)
+    if isinstance(ra, RAJoin):
+        return ra_shape(ra.left, ctx) | ra_shape(ra.right, ctx)
+    if isinstance(ra, RAUnion):
+        left = ra_shape(ra.left, ctx)
+        right = ra_shape(ra.right, ctx)
+        if left != right:
+            raise ShapeError(f"union of different schemas: {left} vs {right}")
+        return left
+    if isinstance(ra, RAProject):
+        body = ra_shape(ra.body, ctx)
+        extra = set(ra.attrs) - body
+        if extra:
+            raise ShapeError(f"projection onto absent attributes {extra}")
+        return frozenset(ra.attrs)
+    if isinstance(ra, RASelect):
+        body = ra_shape(ra.body, ctx)
+        pred = ctx.shape(ra.predicate)
+        if not pred <= body:
+            raise ShapeError(
+                f"predicate over {sorted(pred)} filters relation over {sorted(body)}"
+            )
+        return body
+    if isinstance(ra, RARename):
+        body = ra_shape(ra.body, ctx)
+        return frozenset(ra.mapping.get(a, a) for a in body)
+    raise TypeError(f"not a relational-algebra expression: {ra!r}")
+
+
+def ra_to_expr(ra: RAExpr, ctx: TypeContext) -> Expr:
+    """Translate relational algebra into ℒ (Figure 6)."""
+    if isinstance(ra, RATable):
+        return Var(ra.name)
+    if isinstance(ra, RAJoin):
+        return ra_to_expr(ra.left, ctx) * ra_to_expr(ra.right, ctx)
+    if isinstance(ra, RAUnion):
+        return ra_to_expr(ra.left, ctx) + ra_to_expr(ra.right, ctx)
+    if isinstance(ra, RAProject):
+        body = ra_to_expr(ra.body, ctx)
+        dropped = sorted(ra_shape(ra.body, ctx) - set(ra.attrs))
+        return sum_over(dropped, body)
+    if isinstance(ra, RASelect):
+        return ra_to_expr(ra.body, ctx) * Var(ra.predicate)
+    if isinstance(ra, RARename):
+        return Rename(ra.mapping, ra_to_expr(ra.body, ctx))
+    raise TypeError(f"not a relational-algebra expression: {ra!r}")

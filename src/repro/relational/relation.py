@@ -1,0 +1,68 @@
+"""Named-perspective relations (Section 4.2's tuples-as-maps view)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+class Relation:
+    """A table: named columns plus a list of row tuples.
+
+    This is a plain data container used by the frontends and the
+    baseline engines; the compiled path packs it into level-format
+    tensors via :mod:`repro.relational.encode`.
+    """
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Tuple[Any, ...]]) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column names: {self.columns}")
+        self.rows: List[Tuple[Any, ...]] = [tuple(r) for r in rows]
+        for r in self.rows:
+            if len(r) != len(self.columns):
+                raise ValueError(
+                    f"row arity {len(r)} != {len(self.columns)} columns"
+                )
+
+    @classmethod
+    def from_dicts(cls, columns: Sequence[str], dicts: Iterable[Mapping[str, Any]]) -> "Relation":
+        return cls(columns, (tuple(d[c] for c in columns) for d in dicts))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        k = self._idx(name)
+        return [r[k] for r in self.rows]
+
+    def _idx(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {self.columns}") from None
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Keep the listed columns (set semantics: duplicates removed)."""
+        ks = [self._idx(c) for c in columns]
+        seen = set()
+        rows = []
+        for r in self.rows:
+            t = tuple(r[k] for k in ks)
+            if t not in seen:
+                seen.add(t)
+                rows.append(t)
+        return Relation(columns, rows)
+
+    def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Relation":
+        """Filter rows with a predicate over a row-dict."""
+        rows = [r for r in self.rows if predicate(dict(zip(self.columns, r)))]
+        return Relation(self.columns, rows)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        return Relation([mapping.get(c, c) for c in self.columns], self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({', '.join(self.columns)}; {len(self.rows)} rows)"

@@ -1,0 +1,406 @@
+"""A small SQL front end for conjunctive aggregate queries.
+
+The paper translates TPC-H queries from SQL to contraction expressions
+by hand (Section 8.2); this module mechanizes the translation for the
+conjunctive fragment those queries live in:
+
+    SELECT <col | SUM(<arith>)> [, ...]
+    FROM <table> [<alias>] [, ...]
+    WHERE <col> = <col> [AND <col> = <literal>] [AND <col> <op> <literal>] ...
+    [GROUP BY <col> [, ...]]
+
+Equality predicates between columns are equi-joins; predicates against
+literals are selections.  Queries are parsed into a :class:`SelectQuery`
+and executed two ways:
+
+* :func:`execute` — on :class:`~repro.relational.Relation` tables via
+  the pairwise engine (a reference evaluator, cross-checked against
+  SQLite in the tests);
+* :meth:`SelectQuery.to_algebra` — as a relational-algebra expression
+  (Figure 6's operators) over renamed tables, for inspection or further
+  translation to ℒ.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines import pairwise
+from repro.relational.relation import Relation
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d+|\d+)|(?P<str>'[^']*')|(?P<id>[A-Za-z_][A-Za-z_0-9.]*)"
+    r"|(?P<op><=|>=|<>|!=|[(),*+\-/=<>]))"
+)
+
+_KEYWORDS = {"select", "from", "where", "group", "by", "and", "as", "sum", "count"}
+
+
+class SqlError(ValueError):
+    """Malformed or unsupported SQL."""
+
+
+def _tokenize(sql: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    text = sql.strip().rstrip(";")
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            raise SqlError(f"cannot tokenize SQL at: {text[pos:pos+20]!r}")
+        tokens.append(m.group(m.lastgroup))
+        pos = m.end()
+    return tokens
+
+
+@dataclass
+class Comparison:
+    """``left <op> right`` where each side is a column or a literal."""
+
+    left: str
+    op: str
+    right: Any
+    right_is_column: bool
+
+    @property
+    def is_join(self) -> bool:
+        return self.op == "=" and self.right_is_column
+
+
+@dataclass
+class OutputColumn:
+    """A plain column or SUM(arithmetic-over-columns)."""
+
+    kind: str                   # "column" | "sum" | "count"
+    column: Optional[str] = None
+    terms: Optional[List[List[Tuple[float, str]]]] = None  # parsed SUM body
+    expr_text: str = ""
+
+
+@dataclass
+class SelectQuery:
+    outputs: List[OutputColumn]
+    tables: List[Tuple[str, str]]          # (table, alias)
+    predicates: List[Comparison] = field(default_factory=list)
+    group_by: List[str] = field(default_factory=list)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(o.kind in ("sum", "count") for o in self.outputs)
+
+    def to_algebra(self):
+        """The query as a relational-algebra expression (Figure 6):
+        tables renamed so join columns coincide, joined with ⋈,
+        selections as named predicates, projection onto the outputs."""
+        from repro.relational.algebra import RAJoin, RAProject, RASelect, RATable
+
+        ra = RATable(self.tables[0][1])
+        for _table, alias in self.tables[1:]:
+            ra = RAJoin(ra, RATable(alias))
+        for k, pred in enumerate(self.predicates):
+            if not pred.is_join:
+                ra = RASelect(f"pred{k}", ra)
+        keep = [o.column for o in self.outputs if o.kind == "column"]
+        keep += [c for c in self.group_by if c not in keep]
+        if keep:
+            ra = RAProject(tuple(keep), ra)
+        return ra
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise SqlError("unexpected end of query")
+        self.pos += 1
+        return tok
+
+    def expect(self, word: str) -> None:
+        tok = self.next()
+        if tok.lower() != word:
+            raise SqlError(f"expected {word!r}, got {tok!r}")
+
+    def accept(self, word: str) -> bool:
+        if self.peek() is not None and self.peek().lower() == word:
+            self.pos += 1
+            return True
+        return False
+
+    # -- clauses -------------------------------------------------------
+    def parse(self) -> SelectQuery:
+        self.expect("select")
+        outputs = [self.output_column()]
+        while self.accept(","):
+            outputs.append(self.output_column())
+        self.expect("from")
+        tables = [self.table_ref()]
+        while self.accept(","):
+            tables.append(self.table_ref())
+        predicates: List[Comparison] = []
+        if self.accept("where"):
+            predicates.append(self.comparison())
+            while self.accept("and"):
+                predicates.append(self.comparison())
+        group_by: List[str] = []
+        if self.accept("group"):
+            self.expect("by")
+            group_by.append(self.column())
+            while self.accept(","):
+                group_by.append(self.column())
+        if self.peek() is not None:
+            raise SqlError(f"unexpected trailing token {self.peek()!r}")
+        return SelectQuery(outputs, tables, predicates, group_by)
+
+    def output_column(self) -> OutputColumn:
+        tok = self.peek()
+        if tok is not None and tok.lower() == "sum":
+            self.next()
+            self.expect("(")
+            terms, text = self.arithmetic()
+            self.expect(")")
+            self._alias_ok()
+            return OutputColumn("sum", terms=terms, expr_text=text)
+        if tok is not None and tok.lower() == "count":
+            self.next()
+            self.expect("(")
+            self.expect("*")
+            self.expect(")")
+            self._alias_ok()
+            return OutputColumn("count")
+        col = self.column()
+        self._alias_ok()
+        return OutputColumn("column", column=col)
+
+    def _alias_ok(self) -> None:
+        if self.accept("as"):
+            self.next()  # output aliases are parsed and ignored
+
+    def column(self) -> str:
+        tok = self.next()
+        if not re.match(r"^[A-Za-z_][A-Za-z_0-9.]*$", tok) or tok.lower() in _KEYWORDS:
+            raise SqlError(f"expected a column name, got {tok!r}")
+        return tok
+
+    def table_ref(self) -> Tuple[str, str]:
+        table = self.column()
+        alias = table
+        nxt = self.peek()
+        if nxt is not None and re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", nxt) \
+                and nxt.lower() not in _KEYWORDS and nxt != ",":
+            alias = self.next()
+        return table, alias
+
+    def comparison(self) -> Comparison:
+        left = self.column()
+        op = self.next()
+        if op not in ("=", "<", "<=", ">", ">=", "<>", "!="):
+            raise SqlError(f"unsupported comparison operator {op!r}")
+        tok = self.next()
+        if tok.startswith("'"):
+            return Comparison(left, op, tok[1:-1], right_is_column=False)
+        if re.match(r"^\d", tok):
+            value = float(tok) if "." in tok else int(tok)
+            return Comparison(left, op, value, right_is_column=False)
+        return Comparison(left, op, tok, right_is_column=True)
+
+    def arithmetic(self) -> Tuple[List[List[Tuple[float, str]]], str]:
+        """SUM bodies: sums of products of columns and numeric literals,
+        e.g. ``a * (1 - b)`` normalized by distribution into
+        [[(coef, col), ...], ...]: a list of product terms."""
+        text_start = self.pos
+        terms = self._sum_expr()
+        text = " ".join(self.tokens[text_start:self.pos])
+        return terms, text
+
+    def _sum_expr(self):
+        terms = self._product()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            rhs = self._product()
+            if op == "-":
+                rhs = [_negate(term) for term in rhs]
+            terms = terms + rhs
+        return terms
+
+    def _product(self):
+        factors = [self._atom()]
+        while self.peek() == "*":
+            self.next()
+            factors.append(self._atom())
+        # multiply out: each factor is a list of terms; start with 1
+        out = [[]]
+        for factor in factors:
+            new = []
+            for left in out:
+                for term in factor:
+                    new.append(left + term)
+            out = new
+        return out
+
+    def _atom(self):
+        tok = self.peek()
+        if tok == "(":
+            self.next()
+            inner = self._sum_expr()
+            self.expect(")")
+            return inner
+        tok = self.next()
+        if re.match(r"^\d", tok):
+            value = float(tok)
+            return [[(value, None)]]
+        if re.match(r"^[A-Za-z_]", tok):
+            return [[(1.0, tok)]]
+        raise SqlError(f"unsupported token {tok!r} in SUM body")
+
+
+def _negate(term):
+    """Negate one product term (flip exactly one coefficient)."""
+    if not term:
+        return [(-1.0, None)]
+    (c0, col0), rest = term[0], term[1:]
+    return [(-c0, col0)] + list(rest)
+
+
+def parse(sql: str) -> SelectQuery:
+    """Parse a conjunctive aggregate query."""
+    return _Parser(_tokenize(sql)).parse()
+
+
+# ----------------------------------------------------------------------
+# execution on Relations (reference evaluator via the pairwise engine)
+# ----------------------------------------------------------------------
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _strip_alias(name: str) -> Tuple[Optional[str], str]:
+    if "." in name:
+        alias, col = name.split(".", 1)
+        return alias, col
+    return None, name
+
+
+def execute(query: SelectQuery, tables: Mapping[str, Relation]) -> List[Tuple]:
+    """Evaluate the query: selections, equi-joins (renamed to shared
+    columns), then SUM/COUNT GROUP BY.  Output rows are sorted."""
+    # 1. instantiate aliased tables with alias-qualified column names
+    inst: Dict[str, Relation] = {}
+    for table, alias in query.tables:
+        if table not in tables:
+            raise SqlError(f"unknown table {table!r}")
+        rel = tables[table]
+        inst[alias] = Relation([f"{alias}.{c}" for c in rel.columns], rel.rows)
+
+    def resolve(name: str) -> str:
+        alias, col = _strip_alias(name)
+        candidates = [
+            a for a, rel in inst.items()
+            if (alias is None or a == alias) and f"{a}.{col}" in rel.columns
+        ]
+        if len(candidates) != 1:
+            raise SqlError(f"column {name!r} is unknown or ambiguous")
+        return f"{candidates[0]}.{col}"
+
+    # 2. rename join columns to shared names
+    renames: Dict[str, str] = {}
+
+    def canon(col: str) -> str:
+        while renames.get(col, col) != col:
+            col = renames[col]
+        return col
+
+    for pred in query.predicates:
+        if pred.is_join:
+            left = canon(resolve(pred.left))
+            right = canon(resolve(str(pred.right)))
+            if left != right:
+                renames[right] = left
+
+    for alias in inst:
+        mapping = {c: canon(c) for c in inst[alias].columns}
+        inst[alias] = inst[alias].rename(mapping)
+
+    # 3. selections
+    for pred in query.predicates:
+        if pred.is_join:
+            continue
+        col = canon(resolve(pred.left))
+        op = _OPS[pred.op]
+        for alias, rel in inst.items():
+            if col in rel.columns:
+                inst[alias] = rel.select(lambda row: op(row[col], pred.right))
+                break
+        else:
+            raise SqlError(f"selection column {pred.left!r} not found")
+
+    # 4. joins (left-deep, in FROM order)
+    joined = pairwise.join_all([inst[alias] for _t, alias in query.tables])
+
+    # 5. outputs
+    def term_value(row: Dict[str, Any], terms) -> float:
+        total = 0.0
+        for term in terms:
+            prod = 1.0
+            for coef, col in term:
+                prod *= coef
+                if col is not None:
+                    prod *= row[canon(resolve(col))]
+            total += prod
+        return total
+
+    group_cols = [canon(resolve(c)) for c in query.group_by]
+    plain_cols = [canon(resolve(o.column)) for o in query.outputs
+                  if o.kind == "column"]
+    for col in plain_cols:
+        if col not in group_cols and query.is_aggregate:
+            raise SqlError(f"non-aggregated column {col!r} must be grouped")
+
+    if not query.is_aggregate:
+        out_rows = {tuple(dict(zip(joined.columns, r))[c] for c in plain_cols)
+                    for r in joined.rows}
+        return sorted(out_rows)
+
+    groups: Dict[Tuple, List[float]] = {}
+    for r in joined.rows:
+        row = dict(zip(joined.columns, r))
+        key = tuple(row[c] for c in (group_cols or plain_cols))
+        acc = groups.setdefault(key, [0.0] * len(query.outputs))
+        for k, o in enumerate(query.outputs):
+            if o.kind == "sum":
+                acc[k] += term_value(row, o.terms)
+            elif o.kind == "count":
+                acc[k] += 1
+    out: List[Tuple] = []
+    for key, acc in groups.items():
+        row_out: List[Any] = []
+        key_iter = iter(key)
+        for k, o in enumerate(query.outputs):
+            if o.kind == "column":
+                row_out.append(next(key_iter))
+            elif o.kind == "count":
+                row_out.append(int(acc[k]))
+            else:
+                row_out.append(acc[k])
+        out.append(tuple(row_out))
+    return sorted(out, key=lambda t: tuple(str(x) for x in t))
+
+
+def run(sql: str, tables: Mapping[str, Relation]) -> List[Tuple]:
+    """Parse and execute in one call."""
+    return execute(parse(sql), tables)

@@ -1,0 +1,55 @@
+"""Semirings (Definition 4.5 of the paper).
+
+A semiring ``(K, +, 0, *, 1)`` supplies the scalar algebra that
+K-relations, indexed streams, and generated kernels compute over.  Each
+semiring is a small immutable object exposing ``zero``, ``one``,
+``add``, and ``mul``; singletons for the common instances are exported
+here.
+
+The paper's evaluation uses boolean, floating point, and (min, +)
+scalars; we additionally provide the natural-number (bag) semiring,
+(max, +), (max, *) (Viterbi), and the provenance-polynomial semiring of
+Green et al. [2007], which is the free semiring and therefore useful for
+testing algebraic identities.
+"""
+
+from repro.semirings.base import Semiring, SemiringElementError
+from repro.semirings.instances import (
+    BOOL,
+    FLOAT,
+    INT,
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_PLUS,
+    NAT,
+    BoolSemiring,
+    FloatSemiring,
+    IntSemiring,
+    MaxPlusSemiring,
+    MaxTimesSemiring,
+    MinPlusSemiring,
+    NatSemiring,
+)
+from repro.semirings.provenance import PROVENANCE, Polynomial, ProvenanceSemiring
+
+__all__ = [
+    "Semiring",
+    "SemiringElementError",
+    "BoolSemiring",
+    "FloatSemiring",
+    "IntSemiring",
+    "NatSemiring",
+    "MinPlusSemiring",
+    "MaxPlusSemiring",
+    "MaxTimesSemiring",
+    "ProvenanceSemiring",
+    "Polynomial",
+    "BOOL",
+    "FLOAT",
+    "INT",
+    "NAT",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "MAX_TIMES",
+    "PROVENANCE",
+]

@@ -1,0 +1,112 @@
+"""Provenance polynomials: the free commutative semiring N[X].
+
+Green et al. [2007] show that polynomials with natural-number
+coefficients over a set of indeterminates form the *free* semiring on
+those indeterminates: any identity that holds in N[X] holds in every
+commutative semiring.  We use this instance in tests — if two
+contraction plans agree on provenance polynomials, they agree for every
+choice of scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.semirings.base import Semiring
+
+# A monomial is a sorted tuple of (variable, exponent) pairs; a
+# polynomial maps monomials to positive integer coefficients.
+Monomial = Tuple[Tuple[str, int], ...]
+
+
+class Polynomial:
+    """An immutable polynomial in N[X]."""
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, int] | None = None) -> None:
+        cleaned: Dict[Monomial, int] = {}
+        for mono, coeff in (terms or {}).items():
+            if coeff < 0:
+                raise ValueError("provenance coefficients must be natural numbers")
+            if coeff:
+                cleaned[mono] = coeff
+        self._terms = dict(sorted(cleaned.items()))
+
+    @classmethod
+    def variable(cls, name: str) -> "Polynomial":
+        return cls({((name, 1),): 1})
+
+    @classmethod
+    def constant(cls, n: int) -> "Polynomial":
+        if n == 0:
+            return cls()
+        return cls({(): n})
+
+    @property
+    def terms(self) -> Dict[Monomial, int]:
+        return dict(self._terms)
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        out = dict(self._terms)
+        for mono, coeff in other._terms.items():
+            out[mono] = out.get(mono, 0) + coeff
+        return Polynomial(out)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        out: Dict[Monomial, int] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                exps: Dict[str, int] = {}
+                for var, e in m1:
+                    exps[var] = exps.get(var, 0) + e
+                for var, e in m2:
+                    exps[var] = exps.get(var, 0) + e
+                mono = tuple(sorted(exps.items()))
+                out[mono] = out.get(mono, 0) + c1 * c2
+        return Polynomial(out)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._terms.items()))
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for mono, coeff in self._terms.items():
+            factors = [str(coeff)] if (coeff != 1 or not mono) else []
+            for var, e in mono:
+                factors.append(var if e == 1 else f"{var}^{e}")
+            parts.append("*".join(factors))
+        return " + ".join(parts)
+
+
+class ProvenanceSemiring(Semiring):
+    """N[X], the free commutative semiring (Green et al. 2007)."""
+
+    name = "provenance"
+    zero = Polynomial()
+    one = Polynomial.constant(1)
+
+    def add(self, x: Polynomial, y: Polynomial) -> Polynomial:
+        return x + y
+
+    def mul(self, x: Polynomial, y: Polynomial) -> Polynomial:
+        return x * y
+
+    def is_element(self, x: Any) -> bool:
+        return isinstance(x, Polynomial)
+
+    def from_int(self, n: int) -> Polynomial:
+        return Polynomial.constant(n)
+
+
+PROVENANCE = ProvenanceSemiring()

@@ -1,0 +1,74 @@
+"""Indexed streams: the paper's formal operational model (Section 5).
+
+An indexed stream (Definition 5.1) is a tuple
+``(σ, q0, index, value, ready, skip)`` describing stateful in-order
+traversal of index/value pairs.  Streams nest — the value of an outer
+stream can itself be a stream (Section 5.2) — and compose under the
+contraction operators of ℒ: multiplication performs the multi-way
+intersection optimization, addition merges, Σ forgets indices, and ⇑
+replicates lazily.
+
+This package is the *executable reference model*: it evaluates streams
+per Definition 5.11 and is checked against the denotational semantics
+(Theorem 6.1) by the property tests in :mod:`repro.verification`.  The
+compiler in :mod:`repro.compiler` is a syntactic mirror of these
+definitions.
+"""
+
+from repro.streams.base import STAR, Stream, is_stream, reachable_states
+from repro.streams.sources import (
+    DenseStream,
+    EmptyStream,
+    FunctionStream,
+    SingletonStream,
+    SparseStream,
+    expand_stream,
+    from_dict,
+    from_krelation,
+    from_pairs,
+)
+from repro.streams.combinators import (
+    AddStream,
+    ContractStream,
+    MapStream,
+    MulStream,
+    RenameStream,
+    SingletonContract,
+    add,
+    contract,
+    mul,
+    rename,
+    smap,
+)
+from repro.streams.evaluate import evaluate, stream_to_krelation
+from repro.streams.materialize import materialize
+
+__all__ = [
+    "STAR",
+    "Stream",
+    "is_stream",
+    "reachable_states",
+    "SparseStream",
+    "DenseStream",
+    "FunctionStream",
+    "SingletonStream",
+    "EmptyStream",
+    "expand_stream",
+    "from_dict",
+    "from_pairs",
+    "from_krelation",
+    "MulStream",
+    "AddStream",
+    "ContractStream",
+    "SingletonContract",
+    "MapStream",
+    "RenameStream",
+    "mul",
+    "add",
+    "contract",
+    "smap",
+    "rename",
+    "evaluate",
+    "stream_to_krelation",
+    "materialize",
+]

@@ -1,0 +1,127 @@
+"""The indexed-stream abstract data type (Definition 5.1).
+
+A :class:`Stream` is immutable; its state is passed explicitly to every
+operation, exactly as in the formal model.  ``q0`` is the initial
+state.  Contracted streams (Section 5.1.2) are labeled with the dummy
+attribute :data:`STAR`, whose only index value is also :data:`STAR`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Tuple
+
+from repro.semirings.base import Semiring
+
+
+class _Star:
+    """The dummy attribute * and its single index value (I_* = {*})."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+    # * is only ever compared with itself; the total order on I_* is trivial.
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, _Star):
+            return False
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, _Star):
+            return True
+        return NotImplemented
+
+
+STAR = _Star()
+
+
+class Stream:
+    """An indexed stream ``(σ, q0, index, value, ready, skip)``.
+
+    Subclasses implement the five functions of Definition 5.1 plus
+    ``valid`` — the explicit termination test the compiler's syntactic
+    streams also carry (Figure 13).  A state where ``valid`` is false is
+    terminal: ``skip`` returns it unchanged and ``ready`` is false.
+
+    Attributes
+    ----------
+    attr:
+        The attribute (level label) of this stream, or :data:`STAR` for
+        contracted streams.
+    shape:
+        The ordered tuple of *real* attributes of the whole nested
+        stream (Definition 5.7's τ, ignoring dummy levels).
+    semiring:
+        The scalar semiring of the leaf values.
+    """
+
+    __slots__ = ("attr", "shape", "semiring")
+
+    def __init__(self, attr: Any, shape: Tuple[str, ...], semiring: Semiring) -> None:
+        self.attr = attr
+        self.shape = tuple(shape)
+        self.semiring = semiring
+
+    # ------------------------------------------------------------------
+    # the stream interface
+    # ------------------------------------------------------------------
+    @property
+    def q0(self) -> Any:
+        raise NotImplementedError
+
+    def valid(self, q: Any) -> bool:
+        raise NotImplementedError
+
+    def ready(self, q: Any) -> bool:
+        raise NotImplementedError
+
+    def index(self, q: Any) -> Any:
+        raise NotImplementedError
+
+    def value(self, q: Any) -> Any:
+        raise NotImplementedError
+
+    def skip(self, q: Any, i: Any, r: bool) -> Any:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # derived notions
+    # ------------------------------------------------------------------
+    def next(self, q: Any) -> Any:
+        """The immediate successor δ(q) = skip(q, (index(q), ready(q)))
+        (Definition 5.3)."""
+        if not self.valid(q):
+            return q
+        return self.skip(q, self.index(q), self.ready(q))
+
+    def states(self, max_steps: int | None = None) -> Iterator[Any]:
+        """Iterate the reachable states from q0 until terminal."""
+        q = self.q0
+        steps = 0
+        while self.valid(q):
+            yield q
+            q = self.next(q)
+            steps += 1
+            if max_steps is not None and steps > max_steps:
+                raise RuntimeError(
+                    f"stream did not terminate within {max_steps} steps"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ",".join(str(a) for a in self.shape) or "scalar"
+        return f"<{type(self).__name__} {self.attr}:[{attrs}]>"
+
+
+def is_stream(x: Any) -> bool:
+    return isinstance(x, Stream)
+
+
+def reachable_states(stream: Stream, max_steps: int | None = 1_000_000) -> list:
+    """All reachable states of a finite stream (Definition 5.10)."""
+    return list(stream.states(max_steps=max_steps))

@@ -1,0 +1,340 @@
+"""Stream composition operators (Section 5.1).
+
+``mul`` implements Definition 5.4 — the multi-way intersection — and
+``add`` the min-merge addition; ``contract`` is Σ (Section 5.1.2),
+``smap`` the functorial map (Section 5.2), and ``rename`` relabels
+attributes.  The top-level functions are *dispatchers* that extend the
+binary combinators across nested streams and across the dummy-attribute
+mismatches that arise when contracted subexpressions are combined:
+
+* ``mul(x, y)`` with a contracted (``*``) operand distributes the other
+  operand into its values — sound by distributivity, ``(Σᵢ vᵢ)·y =
+  Σᵢ (vᵢ·y)``;
+* ``add(x, y)`` with exactly one contracted operand wraps the other in
+  a one-shot contracted stream (:class:`SingletonContract`).
+
+Both rules preserve evaluation (checked by the Theorem 6.1 property
+tests in ``tests/verification``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Tuple
+
+from repro.semirings.base import Semiring
+from repro.streams.base import STAR, Stream, is_stream
+
+
+class MulStream(Stream):
+    """The product stream of Definition 5.4.
+
+    ready requires both operands ready *and* index agreement; index is
+    the max of the operand indices, so δ drives both operands toward
+    the larger one — the intersection optimization.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: Stream, y: Stream) -> None:
+        if x.attr != y.attr:
+            raise ValueError(f"cannot multiply levels {x.attr!r} and {y.attr!r}")
+        if x.shape != y.shape:
+            raise ValueError(f"cannot multiply shapes {x.shape} and {y.shape}")
+        super().__init__(x.attr, x.shape, x.semiring)
+        self.x = x
+        self.y = y
+
+    @property
+    def q0(self) -> Tuple[Any, Any]:
+        return (self.x.q0, self.y.q0)
+
+    def valid(self, q) -> bool:
+        return self.x.valid(q[0]) and self.y.valid(q[1])
+
+    def index(self, q) -> Any:
+        ix = self.x.index(q[0])
+        iy = self.y.index(q[1])
+        return ix if iy <= ix else iy
+
+    def ready(self, q) -> bool:
+        return (
+            self.x.ready(q[0])
+            and self.y.ready(q[1])
+            and self.x.index(q[0]) == self.y.index(q[1])
+        )
+
+    def value(self, q) -> Any:
+        return mul(self.x.value(q[0]), self.y.value(q[1]), self.semiring)
+
+    def skip(self, q, i, r) -> Tuple[Any, Any]:
+        qx, qy = q
+        if self.x.valid(qx):
+            qx = self.x.skip(qx, i, r)
+        if self.y.valid(qy):
+            qy = self.y.skip(qy, i, r)
+        return (qx, qy)
+
+
+class AddStream(Stream):
+    """The sum stream: a sorted merge of its operands.
+
+    index is the *min* of the live operands' indices.  The sum is ready
+    only when every live operand *at that index* is itself ready — an
+    operand whose index is a lower bound (a not-yet-ready product, say)
+    may still produce a value there, so emitting early and skipping past
+    would drop it.  When not ready, δ skips to ``(i, 0)``, which lets
+    the unready operand advance internally without discarding anything.
+    Unlike multiplication, a sum stream remains live while either
+    operand is.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: Stream, y: Stream) -> None:
+        if x.attr != y.attr:
+            raise ValueError(f"cannot add levels {x.attr!r} and {y.attr!r}")
+        super().__init__(x.attr, x.shape, x.semiring)
+        self.x = x
+        self.y = y
+
+    @property
+    def q0(self) -> Tuple[Any, Any]:
+        return (self.x.q0, self.y.q0)
+
+    def valid(self, q) -> bool:
+        return self.x.valid(q[0]) or self.y.valid(q[1])
+
+    def index(self, q) -> Any:
+        xv = self.x.valid(q[0])
+        yv = self.y.valid(q[1])
+        if xv and yv:
+            ix = self.x.index(q[0])
+            iy = self.y.index(q[1])
+            return ix if ix <= iy else iy
+        if xv:
+            return self.x.index(q[0])
+        return self.y.index(q[1])
+
+    def _sides(self, q):
+        """Which operands sit at the current (min) index."""
+        i = self.index(q)
+        at_x = self.x.valid(q[0]) and self.x.index(q[0]) == i
+        at_y = self.y.valid(q[1]) and self.y.index(q[1]) == i
+        return at_x, at_y
+
+    def ready(self, q) -> bool:
+        at_x, at_y = self._sides(q)
+        return (
+            (at_x or at_y)
+            and (not at_x or self.x.ready(q[0]))
+            and (not at_y or self.y.ready(q[1]))
+        )
+
+    def value(self, q) -> Any:
+        at_x, at_y = self._sides(q)
+        if not self.ready(q):
+            raise RuntimeError("value of a non-ready sum state")
+        if at_x and at_y:
+            return add(self.x.value(q[0]), self.y.value(q[1]), self.semiring)
+        if at_x:
+            return self.x.value(q[0])
+        return self.y.value(q[1])
+
+    def skip(self, q, i, r) -> Tuple[Any, Any]:
+        qx, qy = q
+        if self.x.valid(qx):
+            qx = self.x.skip(qx, i, r)
+        if self.y.valid(qy):
+            qy = self.y.skip(qy, i, r)
+        return (qx, qy)
+
+
+class ContractStream(Stream):
+    """Σ_a q (Section 5.1.2): the same automaton with its index forgotten."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Stream) -> None:
+        if inner.attr is STAR:
+            raise ValueError("cannot contract an already-contracted level")
+        super().__init__(STAR, inner.shape[1:], inner.semiring)
+        self.inner = inner
+
+    @property
+    def q0(self) -> Any:
+        return self.inner.q0
+
+    def valid(self, q) -> bool:
+        return self.inner.valid(q)
+
+    def ready(self, q) -> bool:
+        return self.inner.ready(q)
+
+    def index(self, q) -> Any:
+        return STAR
+
+    def value(self, q) -> Any:
+        return self.inner.value(q)
+
+    def skip(self, q, i, r) -> Any:
+        # skip(q, (*, r)) = inner.skip(q, (inner.index(q), r))
+        if not self.inner.valid(q):
+            return q
+        return self.inner.skip(q, self.inner.index(q), r)
+
+
+class SingletonContract(Stream):
+    """A contracted stream that emits a single value once.
+
+    Used to align a non-contracted operand with a contracted one when
+    adding: ``x + Σq`` becomes ``SingletonContract(x) + Σq``.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any, semiring: Semiring) -> None:
+        shape = value.shape if is_stream(value) else ()
+        super().__init__(STAR, shape, semiring)
+        self._value = value
+
+    @property
+    def q0(self) -> int:
+        return 0
+
+    def valid(self, q: int) -> bool:
+        return q == 0
+
+    def ready(self, q: int) -> bool:
+        return q == 0
+
+    def index(self, q: int) -> Any:
+        return STAR
+
+    def value(self, q: int) -> Any:
+        return self._value
+
+    def skip(self, q: int, i: Any, r: bool) -> int:
+        return 1 if (q == 0 and r) else q
+
+
+class MapStream(Stream):
+    """Functorial map (Section 5.2): compose a function with ``value``."""
+
+    __slots__ = ("inner", "fn")
+
+    def __init__(self, fn: Callable[[Any], Any], inner: Stream, shape: Tuple[str, ...]) -> None:
+        super().__init__(inner.attr, shape, inner.semiring)
+        self.inner = inner
+        self.fn = fn
+
+    @property
+    def q0(self) -> Any:
+        return self.inner.q0
+
+    def valid(self, q) -> bool:
+        return self.inner.valid(q)
+
+    def ready(self, q) -> bool:
+        return self.inner.ready(q)
+
+    def index(self, q) -> Any:
+        return self.inner.index(q)
+
+    def value(self, q) -> Any:
+        return self.fn(self.inner.value(q))
+
+    def skip(self, q, i, r) -> Any:
+        return self.inner.skip(q, i, r)
+
+
+class RenameStream(Stream):
+    """name_ρ: relabel the attributes of a stream without changing it."""
+
+    __slots__ = ("inner", "mapping")
+
+    def __init__(self, inner: Stream, mapping: Mapping[str, str]) -> None:
+        attr = inner.attr if inner.attr is STAR else mapping.get(inner.attr, inner.attr)
+        shape = tuple(mapping.get(a, a) for a in inner.shape)
+        if len(set(shape)) != len(shape):
+            raise ValueError(f"rename {mapping} is not injective on {inner.shape}")
+        super().__init__(attr, shape, inner.semiring)
+        self.inner = inner
+        self.mapping = dict(mapping)
+
+    @property
+    def q0(self) -> Any:
+        return self.inner.q0
+
+    def valid(self, q) -> bool:
+        return self.inner.valid(q)
+
+    def ready(self, q) -> bool:
+        return self.inner.ready(q)
+
+    def index(self, q) -> Any:
+        return self.inner.index(q)
+
+    def value(self, q) -> Any:
+        v = self.inner.value(q)
+        return RenameStream(v, self.mapping) if is_stream(v) else v
+
+    def skip(self, q, i, r) -> Any:
+        return self.inner.skip(q, i, r)
+
+
+# ----------------------------------------------------------------------
+# dispatchers over nested streams, dummy levels, and scalars
+# ----------------------------------------------------------------------
+def mul(x: Any, y: Any, semiring: Semiring) -> Any:
+    """Multiply two nested streams / scalars of the same shape."""
+    if not is_stream(x) and not is_stream(y):
+        return semiring.mul(x, y)
+    if is_stream(x) and x.attr is STAR:
+        # (Σᵢ vᵢ) · y  =  Σᵢ (vᵢ · y): distribute y into the dummy level
+        return MapStream(lambda v: mul(v, y, semiring), x, _mul_shape(x, y))
+    if is_stream(y) and y.attr is STAR:
+        return MapStream(lambda v: mul(x, v, semiring), y, _mul_shape(y, x))
+    if not is_stream(x):
+        return MapStream(lambda v: mul(x, v, semiring), y, y.shape)
+    if not is_stream(y):
+        return MapStream(lambda v: mul(v, y, semiring), x, x.shape)
+    return MulStream(x, y)
+
+
+def _mul_shape(star_side: Stream, other: Any) -> Tuple[str, ...]:
+    other_shape = other.shape if is_stream(other) else ()
+    # shapes agree after elaboration; keep the star side's (they are equal)
+    if star_side.shape != tuple(other_shape):
+        raise ValueError(
+            f"cannot multiply shapes {star_side.shape} and {tuple(other_shape)}"
+        )
+    return star_side.shape
+
+
+def add(x: Any, y: Any, semiring: Semiring) -> Any:
+    """Add two nested streams / scalars of the same shape."""
+    if not is_stream(x) and not is_stream(y):
+        return semiring.add(x, y)
+    x_star = is_stream(x) and x.attr is STAR
+    y_star = is_stream(y) and y.attr is STAR
+    if x_star and not y_star:
+        return AddStream(x, SingletonContract(y, semiring))
+    if y_star and not x_star:
+        return AddStream(SingletonContract(x, semiring), y)
+    if not is_stream(x) or not is_stream(y):
+        raise ValueError("cannot add a scalar to a non-contracted stream")
+    return AddStream(x, y)
+
+
+def contract(q: Stream) -> ContractStream:
+    """Σ on the outermost level."""
+    return ContractStream(q)
+
+
+def smap(fn: Callable[[Any], Any], q: Stream, shape: Tuple[str, ...]) -> MapStream:
+    """Functorial map with an explicit result shape."""
+    return MapStream(fn, q, shape)
+
+
+def rename(q: Stream, mapping: Mapping[str, str]) -> Stream:
+    return RenameStream(q, mapping)

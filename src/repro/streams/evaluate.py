@@ -1,0 +1,101 @@
+"""Stream evaluation ⟦–⟧ (Definition 5.11).
+
+The meaning of a stream is the sum of its indexed values over all
+reachable ready states.  Real-attribute levels evaluate to finitely
+supported functions, represented as dicts from index to nested value;
+contracted (``*``) levels sum their values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.krelation.relation import KRelation
+from repro.krelation.schema import Schema
+from repro.semirings.base import Semiring
+from repro.streams.base import STAR, Stream, is_stream
+
+
+def merge_values(semiring: Semiring, a: Any, b: Any) -> Any:
+    """Pointwise sum of two evaluated stream values (scalars or dicts)."""
+    if isinstance(a, dict) != isinstance(b, dict):
+        raise TypeError(f"cannot merge {type(a).__name__} with {type(b).__name__}")
+    if not isinstance(a, dict):
+        return semiring.add(a, b)
+    out = dict(a)
+    for key, val in b.items():
+        out[key] = merge_values(semiring, out[key], val) if key in out else val
+    return out
+
+
+def _zero_value(shape: Tuple[str, ...], semiring: Semiring) -> Any:
+    return semiring.zero if not shape else {}
+
+
+def evaluate(stream: Any, max_steps: Optional[int] = 10_000_000) -> Any:
+    """Evaluate a (nested) stream to a nested dict / scalar.
+
+    * scalar leaf → itself;
+    * ``a →s R`` → ``{index: ⟦value⟧, …}`` over reachable ready states;
+    * ``* →s R`` → the sum of ⟦value⟧ over reachable ready states.
+
+    ``max_steps`` guards against evaluating infinite streams.
+    """
+    if not is_stream(stream):
+        return stream
+    semiring = stream.semiring
+    if stream.attr is STAR:
+        acc = _zero_value(stream.shape, semiring)
+        for q in stream.states(max_steps=max_steps):
+            if stream.ready(q):
+                acc = merge_values(semiring, acc, evaluate(stream.value(q), max_steps))
+        if isinstance(acc, dict):
+            # acc is keyed by the first real attribute below the dummy
+            acc = _prune_deep(acc, stream.shape[1:], semiring)
+        return acc
+    out: Dict[Any, Any] = {}
+    value_shape = stream.shape[1:]
+    for q in stream.states(max_steps=max_steps):
+        if stream.ready(q):
+            i = stream.index(q)
+            v = evaluate(stream.value(q), max_steps)
+            out[i] = merge_values(semiring, out[i], v) if i in out else v
+    return _prune_deep(out, value_shape, semiring)
+
+
+def _prune_deep(out: Dict[Any, Any], value_shape: Tuple[str, ...], semiring: Semiring) -> Dict[Any, Any]:
+    """Recursively drop zero leaves and empty sub-dicts, so cancellation
+    (x + (-x)) yields structurally empty results."""
+    if not value_shape:
+        return {k: v for k, v in out.items() if not semiring.is_zero(v)}
+    pruned = {
+        k: _prune_deep(v, value_shape[1:], semiring) for k, v in out.items()
+    }
+    return {k: v for k, v in pruned.items() if v}
+
+
+def flatten(value: Any, depth: int) -> Dict[Tuple[Any, ...], Any]:
+    """Flatten a nested evaluation result into ``{(i, j, …): scalar}``."""
+    if depth == 0:
+        return {(): value}
+    out: Dict[Tuple[Any, ...], Any] = {}
+    for key, sub in value.items():
+        for rest, scalar in flatten(sub, depth - 1).items():
+            out[(key,) + rest] = scalar
+    return out
+
+
+def stream_to_krelation(stream: Stream, schema: Schema, max_steps: Optional[int] = 10_000_000) -> KRelation:
+    """Evaluate a stream and package the result as a K-relation.
+
+    The stream's level order must agree with the schema's global
+    attribute ordering (valid streams always do, Definition 5.7).
+    """
+    value = evaluate(stream, max_steps=max_steps)
+    shape = stream.shape
+    flat = flatten(value, len(shape)) if shape else {(): value}
+    sorted_shape = schema.sort_shape(shape)
+    if sorted_shape != tuple(shape):
+        perm = [shape.index(a) for a in sorted_shape]
+        flat = {tuple(k[p] for p in perm): v for k, v in flat.items()}
+    return KRelation(schema, stream.semiring, sorted_shape, flat)

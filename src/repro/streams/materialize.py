@@ -1,0 +1,45 @@
+"""Materializing streams into fresh sparse data (temporaries).
+
+Evaluating a stream and rebuilding it as nested :class:`SparseStream`
+levels corresponds to introducing a temporary (Kjolstad et al. 2019's
+workspaces).  It is used by the stream semantics when a rename would
+reorder levels against the global attribute ordering — the one case
+hierarchical iteration cannot express directly — and by the unfused
+baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.streams.base import Stream, is_stream
+from repro.streams.evaluate import evaluate, flatten
+from repro.streams.sources import from_dict
+
+
+def materialize(
+    stream: Any,
+    order: Optional[Sequence[str]] = None,
+    max_steps: Optional[int] = 10_000_000,
+) -> Any:
+    """Evaluate a stream and rebuild it as nested sparse levels.
+
+    ``order`` optionally transposes the result to a new level order (a
+    permutation of the stream's shape).  A scalar (fully contracted)
+    stream materializes to its scalar value.
+    """
+    if not is_stream(stream):
+        return stream
+    value = evaluate(stream, max_steps=max_steps)
+    shape = tuple(stream.shape)
+    if not shape:
+        return value
+    flat = flatten(value, len(shape))
+    if order is not None:
+        order = tuple(order)
+        if sorted(order) != sorted(shape):
+            raise ValueError(f"order {order} is not a permutation of {shape}")
+        perm = [shape.index(a) for a in order]
+        flat = {tuple(k[p] for p in perm): v for k, v in flat.items()}
+        shape = order
+    return from_dict(shape, flat, stream.semiring)

@@ -1,0 +1,345 @@
+"""Primitive indexed streams over concrete data (Example 5.2).
+
+``SparseStream`` and ``DenseStream`` are the two canonical level
+formats; ``FunctionStream`` represents implicitly defined data (user
+functions, predicates, and the expansion operator ⇑, Section 5.1.3);
+``from_dict``/``from_krelation`` build nested sparse streams from
+dictionary data.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.semirings.base import Semiring
+from repro.streams.base import Stream, is_stream
+
+
+class SparseStream(Stream):
+    """A compressed level: sorted index array + parallel value array.
+
+    ``skip`` may advance by linear scan or by galloping binary search;
+    the paper attributes its ``smul`` speedup over TACO to the binary
+    search variant (Section 8.1).
+    """
+
+    __slots__ = ("inds", "vals", "lo", "hi", "search")
+
+    def __init__(
+        self,
+        attr: str,
+        inds: Sequence[Any],
+        vals: Sequence[Any],
+        semiring: Semiring,
+        value_shape: Tuple[str, ...] = (),
+        lo: int = 0,
+        hi: Optional[int] = None,
+        search: str = "binary",
+    ) -> None:
+        super().__init__(attr, (attr,) + tuple(value_shape), semiring)
+        if len(inds) != len(vals):
+            raise ValueError("index and value arrays must have equal length")
+        if search not in ("linear", "binary"):
+            raise ValueError(f"unknown search strategy {search!r}")
+        self.inds = inds
+        self.vals = vals
+        self.lo = lo
+        self.hi = len(inds) if hi is None else hi
+        if any(self.inds[k] >= self.inds[k + 1] for k in range(self.lo, self.hi - 1)):
+            raise ValueError(f"indices of sparse level {attr!r} must strictly increase")
+        self.search = search
+
+    @property
+    def q0(self) -> int:
+        return self.lo
+
+    def valid(self, q: int) -> bool:
+        return q < self.hi
+
+    def ready(self, q: int) -> bool:
+        return q < self.hi
+
+    def index(self, q: int) -> Any:
+        return self.inds[q]
+
+    def value(self, q: int) -> Any:
+        return self.vals[q]
+
+    def skip(self, q: int, i: Any, r: bool) -> int:
+        """Least q' >= q with inds[q'] >= i (or > i when r is set)."""
+        if q >= self.hi:
+            return q
+        if self.search == "linear":
+            while q < self.hi and (self.inds[q] < i or (r and self.inds[q] == i)):
+                q += 1
+            return q
+        # galloping binary search: double the step until overshoot, then bisect
+        if self.inds[q] > i or (self.inds[q] == i and not r):
+            return q
+        step = 1
+        lo = q
+        while q + step < self.hi and (
+            self.inds[q + step] < i or (r and self.inds[q + step] == i)
+        ):
+            lo = q + step
+            step *= 2
+        hi = min(q + step, self.hi)
+        if r:
+            return bisect.bisect_right(self.inds, i, lo, hi)
+        return bisect.bisect_left(self.inds, i, lo, hi)
+
+
+class DenseStream(Stream):
+    """A dense level: one value per element of a finite, sorted domain."""
+
+    __slots__ = ("domain", "vals")
+
+    def __init__(
+        self,
+        attr: str,
+        domain: Sequence[Any],
+        vals: Sequence[Any],
+        semiring: Semiring,
+        value_shape: Tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(attr, (attr,) + tuple(value_shape), semiring)
+        if len(domain) != len(vals):
+            raise ValueError("domain and value arrays must have equal length")
+        self.domain = tuple(domain)
+        if any(self.domain[k] >= self.domain[k + 1] for k in range(len(self.domain) - 1)):
+            raise ValueError(f"domain of dense level {attr!r} must strictly increase")
+        self.vals = vals
+
+    @property
+    def q0(self) -> int:
+        return 0
+
+    def valid(self, q: int) -> bool:
+        return q < len(self.domain)
+
+    def ready(self, q: int) -> bool:
+        return q < len(self.domain)
+
+    def index(self, q: int) -> Any:
+        return self.domain[q]
+
+    def value(self, q: int) -> Any:
+        return self.vals[q]
+
+    def skip(self, q: int, i: Any, r: bool) -> int:
+        if q >= len(self.domain):
+            return q
+        if r:
+            return max(q, bisect.bisect_right(self.domain, i, q))
+        return max(q, bisect.bisect_left(self.domain, i, q))
+
+
+class FunctionStream(Stream):
+    """An implicitly represented stream: value computed from the index.
+
+    With a finite ``domain`` this models dense functional data
+    (predicates, user-defined functions — Section 7's `Op` streams).
+    With ``domain=None`` it is an *infinite* stream over an index set
+    with minimal element ``i0`` and successor ``succ`` — exactly the
+    side conditions the paper imposes on ⇑ (Section 5.1.3).  Infinite
+    streams have infinite support and may only be evaluated after
+    multiplication by finite streams.
+    """
+
+    __slots__ = ("fn", "domain", "i0", "succ")
+
+    def __init__(
+        self,
+        attr: str,
+        fn: Callable[[Any], Any],
+        semiring: Semiring,
+        value_shape: Tuple[str, ...] = (),
+        domain: Optional[Sequence[Any]] = None,
+        i0: Any = 0,
+        succ: Callable[[Any], Any] = lambda i: i + 1,
+    ) -> None:
+        super().__init__(attr, (attr,) + tuple(value_shape), semiring)
+        self.fn = fn
+        self.domain = tuple(domain) if domain is not None else None
+        self.i0 = i0
+        self.succ = succ
+
+    @property
+    def q0(self) -> Any:
+        if self.domain is not None:
+            return 0
+        return self.i0
+
+    def valid(self, q: Any) -> bool:
+        if self.domain is not None:
+            return q < len(self.domain)
+        return True
+
+    def ready(self, q: Any) -> bool:
+        return self.valid(q)
+
+    def index(self, q: Any) -> Any:
+        if self.domain is not None:
+            return self.domain[q]
+        return q
+
+    def value(self, q: Any) -> Any:
+        return self.fn(self.index(q))
+
+    def skip(self, q: Any, i: Any, r: bool) -> Any:
+        if self.domain is not None:
+            if q >= len(self.domain):
+                return q
+            if r:
+                return max(q, bisect.bisect_right(self.domain, i, q))
+            return max(q, bisect.bisect_left(self.domain, i, q))
+        target = self.succ(i) if r else i
+        return target if target > q else q
+
+
+class SingletonStream(Stream):
+    """A stream with exactly one (index, value) entry."""
+
+    __slots__ = ("_index", "_value")
+
+    def __init__(
+        self,
+        attr: str,
+        index: Any,
+        value: Any,
+        semiring: Semiring,
+        value_shape: Tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(attr, (attr,) + tuple(value_shape), semiring)
+        self._index = index
+        self._value = value
+
+    @property
+    def q0(self) -> int:
+        return 0
+
+    def valid(self, q: int) -> bool:
+        return q == 0
+
+    def ready(self, q: int) -> bool:
+        return q == 0
+
+    def index(self, q: int) -> Any:
+        return self._index
+
+    def value(self, q: int) -> Any:
+        return self._value
+
+    def skip(self, q: int, i: Any, r: bool) -> int:
+        if q != 0:
+            return q
+        if self._index < i or (r and self._index == i):
+            return 1
+        return 0
+
+
+class EmptyStream(Stream):
+    """A stream with no entries (the zero K-relation at its shape)."""
+
+    def __init__(self, attr: str, semiring: Semiring, value_shape: Tuple[str, ...] = ()) -> None:
+        super().__init__(attr, (attr,) + tuple(value_shape), semiring)
+
+    @property
+    def q0(self) -> int:
+        return 0
+
+    def valid(self, q: int) -> bool:
+        return False
+
+    def ready(self, q: int) -> bool:
+        return False
+
+    def index(self, q: int) -> Any:
+        raise RuntimeError("index of an empty stream")
+
+    def value(self, q: int) -> Any:
+        raise RuntimeError("value of an empty stream")
+
+    def skip(self, q: int, i: Any, r: bool) -> int:
+        return q
+
+
+def expand_stream(
+    attr: str,
+    value: Any,
+    semiring: Semiring,
+    domain: Optional[Sequence[Any]] = None,
+    i0: Any = 0,
+    succ: Callable[[Any], Any] = lambda i: i + 1,
+) -> FunctionStream:
+    """The expansion operator ⇑_a v (Section 5.1.3): always ready,
+    constant value, iterating across I_a."""
+    value_shape = value.shape if is_stream(value) else ()
+    return FunctionStream(
+        attr,
+        lambda _i: value,
+        semiring,
+        value_shape=value_shape,
+        domain=domain,
+        i0=i0,
+        succ=succ,
+    )
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def from_pairs(
+    attr: str,
+    pairs: Mapping[Any, Any] | Sequence[Tuple[Any, Any]],
+    semiring: Semiring,
+    value_shape: Tuple[str, ...] = (),
+    search: str = "binary",
+) -> Stream:
+    """A sparse stream from (index, value) pairs (sorted by index)."""
+    items = sorted(pairs.items()) if isinstance(pairs, Mapping) else sorted(pairs)
+    inds = [i for i, _ in items]
+    vals = [v for _, v in items]
+    return SparseStream(attr, inds, vals, semiring, value_shape=value_shape, search=search)
+
+
+def from_dict(
+    attrs: Sequence[str],
+    data: Mapping[Tuple[Any, ...], Any],
+    semiring: Semiring,
+    search: str = "binary",
+) -> Stream:
+    """A nested sparse stream from a flat dict keyed by index tuples.
+
+    ``attrs`` lists the attributes outermost-first; keys must have the
+    same arity.  Zero values are dropped.
+    """
+    attrs = list(attrs)
+    if not attrs:
+        # a scalar: the sum of all entries (there should be at most one)
+        return semiring.sum(data.values())
+    if any(len(k) != len(attrs) for k in data):
+        raise ValueError(f"keys must have arity {len(attrs)}")
+    groups: Dict[Any, Dict[Tuple[Any, ...], Any]] = {}
+    for key, val in data.items():
+        if semiring.is_zero(val):
+            continue
+        groups.setdefault(key[0], {})[key[1:]] = val
+    inner_shape = tuple(attrs[1:])
+    pairs = {
+        head: from_dict(attrs[1:], rest, semiring, search=search)
+        for head, rest in groups.items()
+    }
+    return from_pairs(attrs[0], pairs, semiring, value_shape=inner_shape, search=search)
+
+
+def from_krelation(rel, order: Optional[Sequence[str]] = None, search: str = "binary") -> Stream:
+    """A nested sparse stream from a K-relation, levels per the schema
+    ordering (or an explicit ``order``)."""
+    shape = tuple(order) if order is not None else rel.shape
+    if sorted(shape) != sorted(rel.shape):
+        raise ValueError(f"order {order!r} is not a permutation of {rel.shape!r}")
+    perm = [rel.shape.index(a) for a in shape]
+    data = {tuple(k[p] for p in perm): v for k, v in rel.items()}
+    return from_dict(shape, data, rel.semiring, search=search)

@@ -1,0 +1,15 @@
+"""Sparse tensor algebra frontend (Figure 5).
+
+Translates einsum-style expressions into the contraction language ℒ
+and runs them through the Etch compiler, e.g.::
+
+    C = einsum("ij,jk->ik", A, B, output_formats=("dense", "sparse"))
+
+covers matrix multiplication; ``einsum("ij,ij->", A, B)`` is the matrix
+inner product; MTTKRP is ``einsum("ikl,kj,lj->ij", B, C, D)``.
+"""
+
+from repro.tensor.einsum import einsum, einsum_expr, repack, tensor_add
+from repro.tensor import linalg
+
+__all__ = ["einsum", "einsum_expr", "tensor_add", "repack", "linalg"]

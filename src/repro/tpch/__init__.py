@@ -1,0 +1,17 @@
+"""A scaled-down TPC-H substrate (Section 8.2).
+
+:mod:`repro.tpch.datagen` generates the eight TPC-H tables with the
+schema, key relationships, and the distributions Q5/Q9 touch (dates
+uniform over 1992–1998, part names containing "green" with ~5%
+probability, lineitem (partkey, suppkey) drawn from partsupp).  The
+scale factor works like dbgen's: row counts scale linearly.
+
+:mod:`repro.tpch.q5` and :mod:`repro.tpch.q9` each provide the query
+three ways: as a contraction expression compiled by Etch, as SQL for
+SQLite, and through the pairwise-join baseline engine — the paper's
+Figure 19 comparison.
+"""
+
+from repro.tpch.datagen import TpchData, generate
+
+__all__ = ["TpchData", "generate"]

@@ -1,0 +1,162 @@
+"""Synthetic TPC-H data generator (a scaled-down dbgen).
+
+Row counts follow the TPC-H specification scaled by SF:
+supplier = 10 000·SF, customer = 150 000·SF, part = 200 000·SF,
+partsupp = 4·part, orders = 1 500 000·SF, lineitem ≈ 4·orders.
+Dates are integers (YYYYMMDD), which keeps the custom year-extraction
+operator of Q9 honest while staying portable.
+
+Only the columns Q5/Q9 read are generated — mirroring the paper's
+fairness measure (c): "delete columns irrelevant to the query".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.relational.relation import Relation
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+# TPC-H P_NAME is five words drawn from a 92-color list; "green" is one
+# of them, so ~5.3% of parts match LIKE '%green%'
+_COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+    "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+    "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple",
+    "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+    "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+    "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+]
+
+
+@dataclass
+class TpchData:
+    """The generated tables plus their scale factor."""
+
+    sf: float
+    region: Relation      # (regionkey, name)
+    nation: Relation      # (nationkey, name, regionkey)
+    supplier: Relation    # (suppkey, nationkey)
+    customer: Relation    # (custkey, nationkey)
+    part: Relation        # (partkey, name)
+    partsupp: Relation    # (partkey, suppkey, supplycost)
+    orders: Relation      # (orderkey, custkey, orderdate)
+    lineitem: Relation    # (orderkey, linenumber, partkey, suppkey,
+                          #  quantity, extendedprice, discount)
+
+    @property
+    def tables(self) -> Dict[str, Relation]:
+        return {
+            "region": self.region,
+            "nation": self.nation,
+            "supplier": self.supplier,
+            "customer": self.customer,
+            "part": self.part,
+            "partsupp": self.partsupp,
+            "orders": self.orders,
+            "lineitem": self.lineitem,
+        }
+
+
+def _random_date(rng: np.random.Generator) -> int:
+    """A date in [1992-01-01, 1998-12-31] as YYYYMMDD (days 1..28 keep
+    every generated date valid)."""
+    year = int(rng.integers(1992, 1999))
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 29))
+    return year * 10000 + month * 100 + day
+
+
+def generate(sf: float, seed: int = 0) -> TpchData:
+    """Generate all tables at scale factor ``sf``."""
+    rng = np.random.default_rng(seed)
+
+    n_supplier = max(5, int(10_000 * sf))
+    n_customer = max(10, int(150_000 * sf))
+    n_part = max(10, int(200_000 * sf))
+    n_orders = max(20, int(1_500_000 * sf))
+
+    region = Relation(("r_regionkey", "r_name"), list(enumerate(REGIONS)))
+    nation = Relation(
+        ("n_nationkey", "n_name", "n_regionkey"),
+        [(k, name, reg) for k, (name, reg) in enumerate(NATIONS)],
+    )
+
+    supplier = Relation(
+        ("s_suppkey", "s_nationkey"),
+        [(s, int(rng.integers(0, 25))) for s in range(n_supplier)],
+    )
+    customer = Relation(
+        ("c_custkey", "c_nationkey"),
+        [(c, int(rng.integers(0, 25))) for c in range(n_customer)],
+    )
+
+    part_rows: List[Tuple[int, str]] = []
+    for p in range(n_part):
+        words = rng.choice(len(_COLORS), size=5, replace=False)
+        part_rows.append((p, " ".join(_COLORS[w] for w in words)))
+    part = Relation(("p_partkey", "p_name"), part_rows)
+
+    partsupp_rows: List[Tuple[int, int, float]] = []
+    suppliers_of_part: Dict[int, List[int]] = {}
+    for p in range(n_part):
+        supps = rng.choice(n_supplier, size=min(4, n_supplier), replace=False)
+        suppliers_of_part[p] = [int(s) for s in supps]
+        for s in suppliers_of_part[p]:
+            partsupp_rows.append((p, s, float(rng.uniform(1.0, 1000.0))))
+    partsupp = Relation(("ps_partkey", "ps_suppkey", "ps_supplycost"), partsupp_rows)
+
+    orders_rows = [
+        (o, int(rng.integers(0, n_customer)), _random_date(rng))
+        for o in range(n_orders)
+    ]
+    orders = Relation(("o_orderkey", "o_custkey", "o_orderdate"), orders_rows)
+
+    lineitem_rows: List[Tuple] = []
+    for o in range(n_orders):
+        for ln in range(int(rng.integers(1, 8))):
+            p = int(rng.integers(0, n_part))
+            s = int(rng.choice(suppliers_of_part[p]))
+            qty = float(rng.integers(1, 51))
+            price = float(rng.uniform(900.0, 105_000.0))
+            disc = float(rng.integers(0, 11)) / 100.0
+            lineitem_rows.append((o, ln, p, s, qty, price, disc))
+    lineitem = Relation(
+        (
+            "l_orderkey", "l_linenumber", "l_partkey", "l_suppkey",
+            "l_quantity", "l_extendedprice", "l_discount",
+        ),
+        lineitem_rows,
+    )
+
+    return TpchData(
+        sf=sf,
+        region=region,
+        nation=nation,
+        supplier=supplier,
+        customer=customer,
+        part=part,
+        partsupp=partsupp,
+        orders=orders,
+        lineitem=lineitem,
+    )

@@ -1,0 +1,210 @@
+"""TPC-H Query 9 ("product type profit") three ways.
+
+profit(nation, year) = Σ over suppliers/parts/orders/lineitems of
+
+    l_extendedprice·(1−l_discount) − ps_supplycost·l_quantity
+
+restricted to parts whose name contains "green".  As a contraction
+expression the subtraction splits into two fused terms (floats form a
+ring, so the second term is scaled by the literal −1)::
+
+    Σ_{s,p,o,ln}  supplier(n,s)·green(p)·ps_one(s,p)·line_rev(s,p,o,ln)·oyear(o,y)
+  + (−1) · Σ_{s,p,o,ln}  supplier(n,s)·green(p)·ps_cost(s,p)·line_qty(s,p,o,ln)·oyear(o,y)
+
+with attribute ordering n < s < p < o < y < ln.  The substring
+predicate is a boolean-valued stream over partkey (exactly the paper's
+encoding) and year extraction is the integer op YYYYMMDD / 10000 —
+the paper's custom timestamp-to-year operator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.compiler.kernel import Kernel, OutputSpec
+from repro.data.tensor import Tensor
+from repro.lang.ast import Lit, Var, sum_over
+from repro.relational.encode import relation_to_tensor
+from repro.relational.query import Query
+from repro.semirings.instances import FLOAT
+from repro.tpch.datagen import TpchData
+from repro.baselines import pairwise
+from repro.baselines.sqlite_bridge import SqliteDB
+
+ATTR_ORDER = ("n", "s", "p", "o", "y", "ln")
+
+YEAR_BASE = 1992
+N_YEARS = 7
+
+
+def year_of(date: int) -> int:
+    """The paper defines a custom operator for year extraction; with
+    YYYYMMDD integer dates it is a single division."""
+    return date // 10000
+
+
+SQL = """
+SELECT n_name AS nation, o_orderdate/10000 AS o_year,
+       SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity)
+       AS sum_profit
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE s_suppkey = l_suppkey
+  AND ps_suppkey = l_suppkey
+  AND ps_partkey = l_partkey
+  AND p_partkey = l_partkey
+  AND o_orderkey = l_orderkey
+  AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY nation, o_year
+"""
+
+
+def build_tensors(data: TpchData) -> Dict[str, Tensor]:
+    one = lambda _row: 1.0
+    dims = {
+        "n": 25,
+        "s": len(data.supplier),
+        "p": len(data.part),
+        "o": len(data.orders),
+        "y": N_YEARS,
+        "ln": 8,
+    }
+    supplier = relation_to_tensor(
+        data.supplier, ("s_nationkey", "s_suppkey"),
+        measure=one, semiring=FLOAT,
+        attr_names={"s_nationkey": "n", "s_suppkey": "s"}, dims=dims,
+    )
+    # substring selection as a boolean-valued indexed stream (Section 8.2)
+    green = relation_to_tensor(
+        data.part.select(lambda row: "green" in row["p_name"]),
+        ("p_partkey",), measure=one, semiring=FLOAT,
+        attr_names={"p_partkey": "p"}, dims=dims,
+    )
+    ps_one = relation_to_tensor(
+        data.partsupp, ("ps_suppkey", "ps_partkey"),
+        measure=one, semiring=FLOAT,
+        attr_names={"ps_suppkey": "s", "ps_partkey": "p"}, dims=dims,
+    )
+    ps_cost = relation_to_tensor(
+        data.partsupp, ("ps_suppkey", "ps_partkey"),
+        measure=lambda row: row["ps_supplycost"], semiring=FLOAT,
+        attr_names={"ps_suppkey": "s", "ps_partkey": "p"}, dims=dims,
+    )
+    line_keys = ("l_suppkey", "l_partkey", "l_orderkey", "l_linenumber")
+    line_attrs = {"l_suppkey": "s", "l_partkey": "p", "l_orderkey": "o",
+                  "l_linenumber": "ln"}
+    line_rev = relation_to_tensor(
+        data.lineitem, line_keys,
+        measure=lambda row: row["l_extendedprice"] * (1.0 - row["l_discount"]),
+        semiring=FLOAT, attr_names=line_attrs, dims=dims,
+    )
+    line_qty = relation_to_tensor(
+        data.lineitem, line_keys,
+        measure=lambda row: row["l_quantity"],
+        semiring=FLOAT, attr_names=line_attrs, dims=dims,
+    )
+    # apply the custom year-extraction operator while building the
+    # (orderkey, year) boolean stream
+    from repro.relational.relation import Relation
+
+    oyear_rel = Relation(
+        ("o_orderkey", "o_yearcode"),
+        [
+            (row[0], year_of(row[2]) - YEAR_BASE)
+            for row in data.orders.rows
+        ],
+    )
+    oyear = relation_to_tensor(
+        oyear_rel, ("o_orderkey", "o_yearcode"),
+        measure=one, semiring=FLOAT,
+        attr_names={"o_orderkey": "o", "o_yearcode": "y"},
+        dims=dims,
+    )
+    return {
+        "supplier": supplier,
+        "green": green,
+        "ps_one": ps_one,
+        "ps_cost": ps_cost,
+        "line_rev": line_rev,
+        "line_qty": line_qty,
+        "oyear": oyear,
+    }
+
+
+def expression():
+    # the subtraction is pushed inside the shared joins (distributivity),
+    # so supplier/green/oyear are traversed once and only the
+    # partsupp×lineitem amount computation is two-sided
+    amount = Var("ps_one") * Var("line_rev") + Lit(-1.0) * (
+        Var("ps_cost") * Var("line_qty")
+    )
+    body = Var("supplier") * Var("green") * amount * Var("oyear")
+    return sum_over(("s", "p", "o", "ln"), body)
+
+
+def prepare_etch(data: TpchData, backend: str = "c", search: str = "linear") -> Tuple[Kernel, Dict[str, Tensor]]:
+    tensors = build_tensors(data)
+    query = Query(ATTR_ORDER, FLOAT)
+    for name, tensor in tensors.items():
+        query.bind(name, tensor)
+    kernel = query.compile(
+        expression(),
+        OutputSpec(("n", "y"), ("dense", "dense"), (25, N_YEARS)),
+        backend=backend,
+        search=search,
+        name="tpch_q9",
+    )
+    return kernel, tensors
+
+
+def run_etch(kernel: Kernel, tensors: Dict[str, Tensor], data: TpchData) -> Dict[Tuple[str, int], float]:
+    out = kernel.run(tensors)
+    names = {k: name for k, name, _reg in data.nation.rows}
+    result = {}
+    for (n, y), v in out.to_dict().items():
+        result[(names[n], YEAR_BASE + y)] = v
+    return result
+
+
+def load_sqlite(data: TpchData) -> SqliteDB:
+    db = SqliteDB()
+    for name, rel in data.tables.items():
+        db.load(name, rel)
+    db.index("supplier", ("s_nationkey", "s_suppkey"))
+    db.index("partsupp", ("ps_suppkey", "ps_partkey"))
+    db.index("lineitem", ("l_suppkey", "l_partkey", "l_orderkey"))
+    db.index("orders", ("o_orderkey",))
+    db.index("part", ("p_partkey",))
+    db.analyze()
+    return db
+
+
+def run_sqlite(db: SqliteDB) -> Dict[Tuple[str, int], float]:
+    return {(name, year): v for name, year, v in db.query(SQL)}
+
+
+def run_pairwise(data: TpchData) -> Dict[Tuple[str, int], float]:
+    part = data.part.select(lambda r: "green" in r["p_name"]).rename(
+        {"p_partkey": "l_partkey"}
+    )
+    supplier = data.supplier.rename({"s_suppkey": "l_suppkey"})
+    partsupp = data.partsupp.rename(
+        {"ps_partkey": "l_partkey", "ps_suppkey": "l_suppkey"}
+    )
+    orders = data.orders.rename({"o_orderkey": "l_orderkey"})
+    nation = data.nation.rename({"n_nationkey": "s_nationkey"})
+
+    joined = pairwise.join_all(
+        [part, data.lineitem, partsupp, orders, supplier, nation]
+    )
+    agg = pairwise.aggregate(
+        joined, ("n_name", "o_orderdate"),
+        lambda row: row["l_extendedprice"] * (1.0 - row["l_discount"])
+        - row["ps_supplycost"] * row["l_quantity"],
+    )
+    # collapse dates to years after the join, as the SQL does
+    result: Dict[Tuple[str, int], float] = {}
+    for name, date, v in agg.rows:
+        key = (name, year_of(date))
+        result[key] = result.get(key, 0.0) + v
+    return result

@@ -1,0 +1,31 @@
+"""Executable counterparts of the paper's formal properties (Section 6).
+
+The paper mechanizes its correctness theorem in Lean; this package
+provides the same properties as *executable checkers* over the runtime
+stream model, used by hypothesis property tests:
+
+* :func:`check_monotone` / :func:`check_strictly_monotone` — the
+  monotonicity conditions of Section 6.2,
+* :func:`check_lawful` — the lawfulness condition of Section 6.1
+  (skipping to ``(i, r)`` does not change evaluation at ``j ≥ (i, r)``),
+* :func:`check_homomorphism_mul` / ``…_add`` / ``…_contract`` —
+  instances of Theorem 6.1 (⟦–⟧ : 𝒮 → 𝒯 is a homomorphism).
+"""
+
+from repro.verification.checkers import (
+    check_homomorphism_add,
+    check_homomorphism_contract,
+    check_homomorphism_mul,
+    check_lawful,
+    check_monotone,
+    check_strictly_monotone,
+)
+
+__all__ = [
+    "check_monotone",
+    "check_strictly_monotone",
+    "check_lawful",
+    "check_homomorphism_mul",
+    "check_homomorphism_add",
+    "check_homomorphism_contract",
+]

@@ -1,0 +1,79 @@
+"""The pairwise-join engine against SQLite on random queries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pairwise import (
+    aggregate, hash_join, join_all, semijoin, triangle_count_pairwise,
+)
+from repro.baselines.sqlite_bridge import SqliteDB
+from repro.relational import Relation
+from repro.workloads import triangle_relations
+
+
+def test_hash_join_natural():
+    r = Relation(("a", "b"), [(0, 1), (1, 2)])
+    s = Relation(("b", "c"), [(1, 9), (1, 8), (3, 7)])
+    j = hash_join(r, s)
+    assert set(j.columns) == {"a", "b", "c"}
+    got = {tuple(row[j.columns.index(c)] for c in ("a", "b", "c")) for row in j.rows}
+    assert got == {(0, 1, 9), (0, 1, 8)}
+
+
+def test_hash_join_no_shared_columns_is_cross_product():
+    r = Relation(("a",), [(0,), (1,)])
+    s = Relation(("b",), [(5,)])
+    j = hash_join(r, s)
+    assert len(j) == 2
+
+
+def test_semijoin():
+    r = Relation(("a", "b"), [(0, 1), (1, 2)])
+    s = Relation(("b",), [(2,)])
+    assert semijoin(r, s).rows == [(1, 2)]
+
+
+def test_aggregate_sum_group_by():
+    r = Relation(("g", "v"), [(0, 1.0), (0, 2.0), (1, 5.0)])
+    a = aggregate(r, ("g",), lambda row: row["v"])
+    assert a.rows == [(0, 3.0), (1, 5.0)]
+
+
+def test_join_all_left_deep():
+    r = Relation(("a", "b"), [(0, 1)])
+    s = Relation(("b", "c"), [(1, 2)])
+    t = Relation(("c", "d"), [(2, 3)])
+    assert len(join_all([r, s, t])) == 1
+
+
+def test_triangle_count_matches_sqlite():
+    rng = np.random.default_rng(0)
+    edges = {(int(rng.integers(10)), int(rng.integers(10))) for _ in range(30)}
+    R = Relation(("a", "b"), sorted(edges))
+    S = Relation(("b", "c"), sorted(edges))
+    T = Relation(("a", "c"), sorted(edges))
+    got = triangle_count_pairwise(R, S, T)
+
+    db = SqliteDB()
+    db.load("R", R)
+    db.load("S", S)
+    db.load("T", T)
+    (want,), = db.query(
+        "SELECT COUNT(*) FROM R, S, T WHERE R.b = S.b AND S.c = T.c AND T.a = R.a"
+    )
+    assert got == want
+
+
+def test_triangle_worst_case_instances():
+    R, S, T = triangle_relations(50)
+    # the adversarial family has exactly 2n - 1 triangles... compute:
+    count = triangle_count_pairwise(R, S, T)
+    db = SqliteDB()
+    for name, rel in (("R", R), ("S", S), ("T", T)):
+        db.load(name, rel)
+    (want,), = db.query(
+        "SELECT COUNT(*) FROM R, S, T WHERE R.b = S.b AND S.c = T.c AND T.a = R.a"
+    )
+    assert count == want
+    # output size is Θ(n) (the paper's footnote 2)
+    assert count >= 50

@@ -1,0 +1,36 @@
+"""The SQLite bridge."""
+
+from repro.baselines.sqlite_bridge import SqliteDB, run_query
+from repro.relational import Relation
+
+
+def test_load_and_query():
+    db = SqliteDB()
+    db.load("t", Relation(("a", "b"), [(1, "x"), (2, "y")]))
+    rows = db.query('SELECT a FROM t WHERE b = ?', ("y",))
+    assert rows == [(2,)]
+    db.close()
+
+
+def test_index_and_analyze():
+    db = SqliteDB()
+    db.load("t", Relation(("a", "b"), [(i, i * 2) for i in range(100)]))
+    db.index("t", ("a", "b"))
+    db.analyze()
+    assert run_query(db, "SELECT COUNT(*) FROM t") == [(100,)]
+    # the index is actually used for an ordered lookup
+    plan = db.query("EXPLAIN QUERY PLAN SELECT b FROM t WHERE a = 5")
+    assert any("idx_t_a_b" in str(row) for row in plan)
+    db.close()
+
+
+def test_aggregation_matches_python():
+    rows = [(i % 3, float(i)) for i in range(20)]
+    db = SqliteDB()
+    db.load("t", Relation(("g", "v"), rows))
+    got = dict(db.query("SELECT g, SUM(v) FROM t GROUP BY g"))
+    want = {}
+    for g, v in rows:
+        want[g] = want.get(g, 0.0) + v
+    assert got == want
+    db.close()

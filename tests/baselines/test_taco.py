@@ -1,0 +1,67 @@
+"""TACO-style baseline kernels agree with the Etch compiler's output."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import taco
+from repro.tensor import einsum, tensor_add
+from repro.workloads import dense_matrix, dense_vector, sparse_matrix, sparse_tensor3
+
+N = 24
+
+
+def to_dense(t, dims):
+    out = np.zeros(dims)
+    for key, v in t.to_dict().items():
+        out[key] = v
+    return out
+
+
+def test_spmv_matches():
+    A = sparse_matrix(N, N, 0.2, attrs=("i", "j"), seed=1)
+    x = np.random.default_rng(2).random(N)
+    got = taco.spmv(A, x)
+    assert np.allclose(got, to_dense(A, (N, N)) @ x)
+
+
+def test_add_matches_etch():
+    A = sparse_matrix(N, N, 0.2, attrs=("i", "j"), seed=3)
+    B = sparse_matrix(N, N, 0.2, attrs=("i", "j"), seed=4)
+    got = taco.add(A, B)
+    want = tensor_add(A, B, capacity=4 * N * N)
+    assert got.to_dict() == pytest.approx(want.to_dict())
+
+
+def test_inner_matches_etch():
+    A = sparse_matrix(N, N, 0.3, attrs=("i", "j"), seed=5)
+    B = sparse_matrix(N, N, 0.3, attrs=("i", "j"), seed=6)
+    assert taco.inner(A, B) == pytest.approx(einsum("ij,ij->", A, B))
+
+
+def test_mmul_matches_numpy():
+    A = sparse_matrix(N, N, 0.2, attrs=("i", "j"), seed=7)
+    B = sparse_matrix(N, N, 0.2, attrs=("j", "k"), seed=8)
+    got = taco.mmul(A, B)
+    assert np.allclose(to_dense(got, (N, N)),
+                       to_dense(A, (N, N)) @ to_dense(B, (N, N)))
+
+
+def test_smul_matches_numpy():
+    A = sparse_matrix(N, N, 0.15, attrs=("i", "j"),
+                      formats=("sparse", "sparse"), seed=9)
+    B = sparse_matrix(N, N, 0.15, attrs=("j", "k"),
+                      formats=("sparse", "sparse"), seed=10)
+    got = taco.smul(A, B)
+    assert np.allclose(to_dense(got, (N, N)),
+                       to_dense(A, (N, N)) @ to_dense(B, (N, N)))
+
+
+def test_mttkrp_matches_numpy():
+    n = 10
+    B = sparse_tensor3((n, n, n), 0.05, attrs=("i", "k", "l"), seed=11)
+    rng = np.random.default_rng(12)
+    C = rng.random((n, n))
+    D = rng.random((n, n))
+    got = taco.mttkrp(B, C, D)
+    want = np.einsum("ikl,kj,lj->ij", to_dense(B, (n, n, n)), C, D)
+    assert np.allclose(got, want)

@@ -1,0 +1,107 @@
+"""C and Python code generation: emission shapes and backend parity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    EAccess, EBinop, ECall, ECond, ELit, EUnop, EVar, Op,
+    PAssign, PIf, PSeq, PSkip, PStore, PWhile, TBOOL, TFLOAT, TINT,
+)
+from repro.compiler import codegen_c, codegen_py
+from repro.compiler.formats import Param
+from repro.compiler.ir import PSort, blit, ilit
+
+
+def test_c_expr_emission():
+    x = EVar("x")
+    assert codegen_c.emit_expr(EBinop("+", x, ilit(3), TINT)) == "(x + 3)"
+    assert codegen_c.emit_expr(EAccess("arr", x, TINT)) == "arr[x]"
+    assert codegen_c.emit_expr(blit(True)) == "true"
+    assert codegen_c.emit_expr(ELit(math.inf, TFLOAT)) == "INFINITY"
+    assert codegen_c.emit_expr(ELit(-math.inf, TFLOAT)) == "-INFINITY"
+    assert codegen_c.emit_expr(EUnop("!", x, TBOOL)) == "(!x)"
+    assert codegen_c.emit_expr(ECond(blit(True), ilit(1), ilit(2))) == "1"
+    assert "?" in codegen_c.emit_expr(ECond(EVar("c", TBOOL), ilit(1), ilit(2)))
+    mn = codegen_c.emit_expr(EBinop("min", x, ilit(2), TINT))
+    assert "<" in mn and "?" in mn
+
+
+def test_c_stmt_emission():
+    body = PSeq(
+        PAssign(EVar("i"), ilit(0)),
+        PWhile(EBinop("<", EVar("i"), ilit(3), TBOOL),
+               PAssign(EVar("i"), EBinop("+", EVar("i"), ilit(1), TINT))),
+        PIf(blit(True), PSkip(), PAssign(EVar("i"), ilit(9))),
+        PStore("a", ilit(0), EVar("i")),
+        PSort("lst", EVar("i")),
+    )
+    text = codegen_c.emit_stmt(body)
+    assert "while ((i < 3))" in text
+    assert "a[0] = i;" in text
+    assert "qsort(lst" in text
+
+
+def test_py_expr_emission():
+    x = EVar("x")
+    assert codegen_py.emit_expr(EBinop("&&", x, x, TBOOL)) == "(x and x)"
+    assert codegen_py.emit_expr(EBinop("||", x, x, TBOOL)) == "(x or x)"
+    assert codegen_py.emit_expr(EBinop("/", x, ilit(2), TINT)) == "(x // 2)"
+    assert codegen_py.emit_expr(EUnop("!", x, TBOOL)) == "(not x)"
+    assert codegen_py.emit_expr(ELit(math.inf, TFLOAT)) == "_inf"
+    # a constant condition folds the conditional away entirely
+    assert codegen_py.emit_expr(ECond(blit(True), ilit(1), ilit(2))) == "1"
+    assert "if" in codegen_py.emit_expr(ECond(EVar("c", TBOOL), ilit(1), ilit(2)))
+    assert codegen_py.emit_expr(EBinop("min", x, ilit(2), TINT)) == "min(x, 2)"
+
+
+def test_c_kernel_compiles_and_runs():
+    # out[0] = a[0] + a[1] using the full gcc pipeline
+    params = [Param("a", "array", TINT), Param("out", "array", TINT)]
+    body = PStore(
+        "out", ilit(0),
+        EBinop("+", EAccess("a", ilit(0), TINT), EAccess("a", ilit(1), TINT), TINT),
+    )
+    source = codegen_c.emit_kernel_source("addk", params, [], body)
+    kernel = codegen_c.CKernel(source, "addk", params)
+    env = {"a": np.array([3, 4], dtype=np.int64), "out": np.zeros(1, dtype=np.int64)}
+    kernel(env)
+    assert env["out"][0] == 7
+
+
+def test_c_kernel_custom_op_header():
+    op = Op(
+        "triple", (TINT,), TINT,
+        spec=lambda v: 3 * v,
+        c_expr=lambda v: f"triple({v})",
+        c_header="static int64_t triple(int64_t v) { return 3 * v; }",
+    )
+    params = [Param("out", "array", TINT)]
+    body = PStore("out", ilit(0), ECall(op, [ilit(5)]))
+    source = codegen_c.emit_kernel_source("opk", params, [], body)
+    assert "static int64_t triple" in source
+    kernel = codegen_c.CKernel(source, "opk", params)
+    env = {"out": np.zeros(1, dtype=np.int64)}
+    kernel(env)
+    assert env["out"][0] == 15
+
+
+def test_py_kernel_runs_with_op():
+    op = Op("sq", (TINT,), TINT, spec=lambda v: v * v, c_expr=lambda v: f"({v}*{v})")
+    params = [Param("out", "array", TINT)]
+    body = PStore("out", ilit(0), ECall(op, [ilit(6)]))
+    kernel = codegen_py.PyKernel("sqk", params, [], body)
+    env = {"out": np.zeros(1, dtype=np.int64)}
+    kernel(env)
+    assert env["out"][0] == 36
+    assert "def sqk" in kernel.source
+
+
+def test_c_kernel_cache_hits():
+    params = [Param("out", "array", TINT)]
+    body = PStore("out", ilit(0), ilit(1))
+    source = codegen_c.emit_kernel_source("cachek", params, [], body)
+    k1 = codegen_c.CKernel(source, "cachek", params)
+    k2 = codegen_c.CKernel(source, "cachek", params)
+    assert k1._lib is k2._lib  # same CDLL from the in-process cache

@@ -1,0 +1,59 @@
+"""Constant folding on the expression IR."""
+
+from repro.compiler.ir import (
+    EAccess, EBinop, ECond, ELit, EUnop, EVar, TBOOL, TINT, blit, fold, ilit,
+)
+
+
+def same(e, want_repr):
+    assert repr(fold(e)) == want_repr
+
+
+def test_integer_arithmetic_folds():
+    same(EBinop("+", ilit(2), ilit(3), TINT), "5")
+    same(EBinop("*", ilit(4), ilit(3), TINT), "12")
+    same(EBinop("-", ilit(4), ilit(3), TINT), "1")
+    same(EBinop("min", ilit(4), ilit(3), TINT), "3")
+    same(EBinop("max", ilit(4), ilit(3), TINT), "4")
+
+
+def test_comparisons_fold():
+    assert fold(EBinop("<", ilit(1), ilit(2), TBOOL)).value is True
+    assert fold(EBinop("==", ilit(1), ilit(2), TBOOL)).value is False
+
+
+def test_identities():
+    x = EVar("x")
+    same(EBinop("+", ilit(0), x, TINT), "x")
+    same(EBinop("+", x, ilit(0), TINT), "x")
+    same(EBinop("-", x, ilit(0), TINT), "x")
+    same(EBinop("*", ilit(1), x, TINT), "x")
+    same(EBinop("*", x, ilit(1), TINT), "x")
+    same(EBinop("*", ilit(0), x, TINT), "0")
+
+
+def test_boolean_identities():
+    x = EVar("x", TBOOL)
+    same(EBinop("&&", blit(True), x, TBOOL), "x")
+    same(EBinop("&&", blit(False), x, TBOOL), "False")
+    same(EBinop("||", blit(False), x, TBOOL), "x")
+    same(EBinop("||", blit(True), x, TBOOL), "True")
+    assert fold(EUnop("!", blit(True), TBOOL)).value is False
+
+
+def test_cond_folds_on_constant_guard():
+    same(ECond(blit(True), ilit(1), ilit(2)), "1")
+    same(ECond(blit(False), ilit(1), ilit(2)), "2")
+
+
+def test_folds_recursively_through_access():
+    # arr[(0 * n) + i]  ->  arr[i]
+    n, i = EVar("n"), EVar("i")
+    offset = EBinop("+", EBinop("*", ilit(0), n, TINT), i, TINT)
+    same(EAccess("arr", offset, TINT), "arr[i]")
+
+
+def test_no_fold_of_variables():
+    x = EVar("x")
+    e = EBinop("+", x, ilit(3), TINT)
+    assert repr(fold(e)) == "(x + 3)"

@@ -1,0 +1,92 @@
+"""The reference interpreter: run/eval over machine states (§7.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    EAccess, EBinop, ECall, ECond, ELit, EUnop, EVar, Op,
+    PAssign, PIf, PSeq, PSkip, PStore, PWhile, TBOOL, TFLOAT, TINT,
+)
+from repro.compiler.ir import PComment, PSort, blit, ilit
+from repro.compiler.interp import eval_expr, run_stmt
+
+
+def test_eval_arithmetic():
+    s = {"x": 7}
+    x = EVar("x")
+    assert eval_expr(EBinop("+", x, ilit(3), TINT), s) == 10
+    assert eval_expr(EBinop("-", x, ilit(3), TINT), s) == 4
+    assert eval_expr(EBinop("*", x, ilit(3), TINT), s) == 21
+    assert eval_expr(EBinop("/", x, ilit(2), TINT), s) == 3   # integer division
+    assert eval_expr(EBinop("/", ELit(7.0, TFLOAT), ELit(2.0, TFLOAT), TFLOAT), s) == 3.5
+    assert eval_expr(EBinop("%", x, ilit(4), TINT), s) == 3
+    assert eval_expr(EBinop("min", x, ilit(3), TINT), s) == 3
+    assert eval_expr(EBinop("max", x, ilit(3), TINT), s) == 7
+
+
+def test_eval_comparisons_and_logic():
+    s = {"x": 7}
+    x = EVar("x")
+    assert eval_expr(EBinop("<", x, ilit(9), TBOOL), s)
+    assert eval_expr(EBinop(">=", x, ilit(7), TBOOL), s)
+    assert eval_expr(EBinop("!=", x, ilit(9), TBOOL), s)
+    assert eval_expr(EUnop("!", blit(False), TBOOL), s)
+    assert eval_expr(EUnop("-", x, TINT), s) == -7
+    # short-circuit: the right side would fail if evaluated
+    bad = EAccess("arr", ilit(99), TINT)
+    assert not eval_expr(EBinop("&&", blit(False), bad, TBOOL), {"arr": [0]})
+    assert eval_expr(EBinop("||", blit(True), bad, TBOOL), {"arr": [0]})
+
+
+def test_eval_cond_and_access():
+    s = {"arr": np.array([10, 20, 30])}
+    e = ECond(blit(True), EAccess("arr", ilit(1), TINT), ilit(0))
+    assert eval_expr(e, s) == 20
+
+
+def test_eval_op_call():
+    op = Op("sq", (TINT,), TINT, spec=lambda v: v * v, c_expr=lambda v: f"({v}*{v})")
+    assert eval_expr(ECall(op, [ilit(5)]), {}) == 25
+
+
+def test_run_assign_store_seq():
+    s = {"arr": np.zeros(3, dtype=np.int64)}
+    prog = PSeq(
+        PAssign(EVar("i"), ilit(1)),
+        PStore("arr", EVar("i"), ilit(42)),
+        PComment("noop"),
+        PSkip(),
+    )
+    run_stmt(prog, s)
+    assert s["i"] == 1
+    assert s["arr"][1] == 42
+
+
+def test_run_while_and_if():
+    s = {"n": 0, "acc": 0}
+    prog = PWhile(
+        EBinop("<", EVar("n"), ilit(5), TBOOL),
+        PSeq(
+            PIf(
+                EBinop("==", EBinop("%", EVar("n"), ilit(2), TINT), ilit(0), TBOOL),
+                PAssign(EVar("acc"), EBinop("+", EVar("acc"), EVar("n"), TINT)),
+            ),
+            PAssign(EVar("n"), EBinop("+", EVar("n"), ilit(1), TINT)),
+        ),
+    )
+    run_stmt(prog, s)
+    assert s["acc"] == 0 + 2 + 4
+
+
+def test_fuel_exhaustion():
+    prog = PWhile(blit(True), PSkip())
+    with pytest.raises(RuntimeError):
+        run_stmt(prog, {}, fuel=100)
+
+
+def test_sort_statement():
+    s = {"arr": np.array([5, 1, 3, 99], dtype=np.int64), "n": 3}
+    run_stmt(PSort("arr", EVar("n")), s)
+    assert list(s["arr"]) == [1, 3, 5, 99]

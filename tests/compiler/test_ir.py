@@ -1,0 +1,89 @@
+"""The target languages P and E (Figure 11) and Op (Figure 12)."""
+
+import pytest
+
+from repro.compiler import (
+    EAccess, EBinop, ECall, ECond, ELit, EUnop, EVar, NameGen, Op,
+    PAssign, PIf, PSeq, PSkip, PStore, PWhile, TBOOL, TFLOAT, TINT,
+)
+from repro.compiler.ir import blit, c_type, eand, emax, emin, eor, ilit
+
+
+def test_c_types():
+    assert c_type(TINT) == "int64_t"
+    assert c_type(TFLOAT) == "double"
+    assert c_type(TBOOL) == "bool"
+
+
+def test_literal_helpers():
+    assert ilit(3).value == 3 and ilit(3).type == TINT
+    assert blit(True).value is True and blit(True).type == TBOOL
+
+
+def test_binop_validation():
+    x = EVar("x")
+    with pytest.raises(ValueError):
+        EBinop("<<", x, x, TINT)
+    with pytest.raises(ValueError):
+        EUnop("~", x, TINT)
+
+
+def test_eand_simplifies_true():
+    x = EVar("x", TBOOL)
+    assert eand() .value is True
+    assert eand(blit(True), x) is x
+    composite = eand(x, x, x)
+    assert isinstance(composite, EBinop) and composite.op == "&&"
+
+
+def test_eor_simplifies_false():
+    x = EVar("x", TBOOL)
+    assert eor().value is False
+    assert eor(blit(False), x) is x
+
+
+def test_min_max_builders():
+    x, y = EVar("x"), EVar("y")
+    assert emax(x, y).op == "max"
+    assert emin(x, y).op == "min"
+
+
+def test_pseq_flattens_and_drops_skips():
+    a = PAssign(EVar("x"), ilit(1))
+    b = PAssign(EVar("y"), ilit(2))
+    seq = PSeq(a, PSkip(), PSeq(b, PSkip()))
+    assert seq.items == (a, b)
+    assert PSeq().items == ()
+
+
+def test_op_arity_checked():
+    op = Op("sq", (TINT,), TINT, spec=lambda v: v * v, c_expr=lambda v: f"({v}*{v})")
+    assert op.arity == 1
+    call = ECall(op, [ilit(3)])
+    assert call.type == TINT
+    with pytest.raises(ValueError):
+        ECall(op, [ilit(1), ilit(2)])
+
+
+def test_namegen_unique_and_recorded():
+    ng = NameGen()
+    a = ng.fresh("q")
+    b = ng.fresh("q")
+    c = ng.fresh("r", TFLOAT)
+    assert a.name != b.name
+    assert c.type == TFLOAT
+    assert [v.name for v in ng.allocated] == [a.name, b.name, c.name]
+
+
+def test_namegen_prefix():
+    ng = NameGen("k_")
+    assert ng.fresh("q").name.startswith("k_")
+
+
+def test_reprs():
+    x = EVar("x")
+    assert repr(EAccess("arr", x, TINT)) == "arr[x]"
+    assert "?" in repr(ECond(blit(True), ilit(1), ilit(2)))
+    assert "while" in repr(PWhile(blit(True), PSkip()))
+    assert "if" in repr(PIf(blit(True), PSkip(), PAssign(x, ilit(1))))
+    assert "=" in repr(PStore("a", ilit(0), ilit(1)))

@@ -1,0 +1,41 @@
+"""Conversions between tensors, K-relations, and dense arrays."""
+
+import numpy as np
+import pytest
+
+from repro.data import Tensor, tensor_from_dense, tensor_from_krelation, tensor_to_krelation
+from repro.krelation import KRelation, Schema
+from repro.semirings import FLOAT, INT
+
+
+SCHEMA = Schema.of(i=range(4), j=range(4))
+
+
+def test_krelation_roundtrip():
+    rel = KRelation(SCHEMA, INT, ("i", "j"), {(0, 1): 2, (3, 0): 5})
+    t = tensor_from_krelation(rel, ("sparse", "sparse"), (4, 4))
+    assert tensor_to_krelation(t, SCHEMA).equal(rel)
+
+
+def test_krelation_with_order():
+    rel = KRelation(SCHEMA, INT, ("i", "j"), {(0, 1): 2})
+    t = tensor_from_krelation(rel, ("sparse", "sparse"), (4, 4), order=("j", "i"))
+    assert t.attrs == ("j", "i")
+    assert t.to_dict() == {(1, 0): 2}
+    with pytest.raises(ValueError):
+        tensor_from_krelation(rel, ("sparse", "sparse"), (4, 4), order=("i", "k"))
+
+
+def test_to_krelation_sorts_levels():
+    t = Tensor.from_entries(("j", "i"), ("sparse", "sparse"), (4, 4), {(1, 0): 2}, INT)
+    rel = tensor_to_krelation(t, SCHEMA)
+    assert rel.shape == ("i", "j")
+    assert rel.support == {(0, 1): 2}
+
+
+def test_from_dense():
+    arr = np.array([[0.0, 1.0], [2.0, 0.0]])
+    t = tensor_from_dense(("i", "j"), ("dense", "sparse"), arr, FLOAT)
+    assert t.to_dict() == {(0, 1): 1.0, (1, 0): 2.0}
+    with pytest.raises(ValueError):
+        tensor_from_dense(("i",), ("dense",), arr, FLOAT)

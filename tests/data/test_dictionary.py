@@ -1,0 +1,46 @@
+"""Order-preserving dictionary encoding."""
+
+import pytest
+
+from repro.data import Dictionary
+
+
+def test_encoding_is_order_preserving():
+    d = Dictionary(["pear", "apple", "mango"])
+    values = ["apple", "mango", "pear"]
+    codes = d.encode_many(values)
+    assert codes == sorted(codes)
+    assert d.decode_many(codes) == values
+
+
+def test_roundtrip_and_len():
+    d = Dictionary(["b", "a", "a", "c"])
+    assert len(d) == 3
+    for v in ("a", "b", "c"):
+        assert d.decode(d.encode(v)) == v
+    assert "a" in d and "z" not in d
+
+
+def test_unknown_value():
+    d = Dictionary(["a"])
+    with pytest.raises(KeyError):
+        d.encode("zzz")
+
+
+def test_lower_bound():
+    d = Dictionary(["apple", "mango", "pear"])
+    assert d.lower_bound("apple") == 0
+    assert d.lower_bound("banana") == 1
+    assert d.lower_bound("zebra") == 3
+
+
+def test_values_property_is_copy():
+    d = Dictionary(["a", "b"])
+    vs = d.values
+    vs.append("c")
+    assert len(d) == 2
+
+
+def test_integers_and_mixed_ordering():
+    d = Dictionary([30, 10, 20])
+    assert d.encode(10) == 0 and d.encode(30) == 2

@@ -1,0 +1,60 @@
+"""Property tests for level-format storage: round trips, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Tensor
+from repro.semirings import FLOAT, INT
+from tests.strategies import sparse_data
+
+N = 8
+FORMAT_PAIRS = [
+    ("dense", "dense"), ("dense", "sparse"),
+    ("sparse", "dense"), ("sparse", "sparse"),
+]
+
+
+@pytest.mark.parametrize("formats", FORMAT_PAIRS)
+@given(data=sparse_data(("i", "j"), max_index=N))
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_every_format(formats, data):
+    t = Tensor.from_entries(("i", "j"), formats, (N, N), data, INT)
+    assert t.to_dict() == data
+
+
+@given(data=sparse_data(("i", "j"), max_index=N))
+@settings(max_examples=20, deadline=None)
+def test_pos_arrays_are_monotone(data):
+    t = Tensor.from_entries(("i", "j"), ("sparse", "sparse"), (N, N), data, INT)
+    for k, pos in t.pos.items():
+        assert all(pos[a] <= pos[a + 1] for a in range(len(pos) - 1)), k
+
+
+@given(data=sparse_data(("i", "j"), max_index=N))
+@settings(max_examples=20, deadline=None)
+def test_crd_strictly_increasing_within_slices(data):
+    t = Tensor.from_entries(("i", "j"), ("sparse", "sparse"), (N, N), data, INT)
+    pos1, crd1 = t.pos[1], t.crd[1]
+    for s in range(len(pos1) - 1):
+        row = crd1[pos1[s]:pos1[s + 1]]
+        assert all(row[a] < row[a + 1] for a in range(len(row) - 1))
+    crd0 = t.crd[0]
+    assert all(crd0[a] < crd0[a + 1] for a in range(len(crd0) - 1))
+
+
+@given(data=sparse_data(("i", "j", "k"), max_index=4, max_entries=12))
+@settings(max_examples=15, deadline=None)
+def test_three_level_roundtrip(data):
+    t = Tensor.from_entries(("i", "j", "k"), ("sparse",) * 3, (4, 4, 4), data, INT)
+    assert t.to_dict() == data
+
+
+@given(data=sparse_data(("i",), max_index=N))
+@settings(max_examples=20, deadline=None)
+def test_nnz_counts_dense_slots(data):
+    sparse = Tensor.from_entries(("i",), ("sparse",), (N,), data, INT)
+    dense = Tensor.from_entries(("i",), ("dense",), (N,), data, INT)
+    assert sparse.nnz == len(data)
+    assert dense.nnz == N

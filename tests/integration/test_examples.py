@@ -1,0 +1,49 @@
+"""The example scripts run end to end (scaled-down arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "all three semantics agree" in out
+    assert "while" in out  # prints the generated C
+
+
+def test_matmul_orderings():
+    out = run_example("matmul_orderings.py", "--n", "400", "--nnz-per-row", "6")
+    assert "speedup" in out
+
+
+def test_triangle_join():
+    out = run_example("triangle_join.py", "--sizes", "100", "200")
+    assert "fused" in out
+
+
+def test_filtered_spmv():
+    out = run_example("filtered_spmv.py", "--n", "2000")
+    assert "selectivity" in out
+
+
+def test_semiring_shortest_path():
+    out = run_example("semiring_shortest_path.py")
+    assert "matches Dijkstra" in out
+
+
+def test_tpch_demo():
+    out = run_example("tpch_demo.py", "--sf", "0.002")
+    assert "results agree" in out

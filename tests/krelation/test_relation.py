@@ -1,0 +1,180 @@
+"""K-relations and their operations (Definitions 4.6–4.7)."""
+
+import pytest
+
+from repro.krelation import KRelation, Schema, ShapeError
+from repro.semirings import BOOL, FLOAT, INT, NAT
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(a=range(3), b=range(3), c=range(3))
+
+
+def rel(schema, shape, data, sr=INT):
+    return KRelation(schema, sr, shape, data)
+
+
+def test_construction_drops_zeros(schema):
+    r = rel(schema, ("a",), {(0,): 1, (1,): 0, (2,): 3})
+    assert r.support == {(0,): 1, (2,): 3}
+    assert len(r) == 2
+    assert bool(r)
+    assert not bool(KRelation.zero(schema, INT, ("a",)))
+
+
+def test_call_and_missing(schema):
+    r = rel(schema, ("a", "b"), {(0, 1): 5})
+    assert r({"a": 0, "b": 1}) == 5
+    assert r({"a": 1, "b": 1}) == 0
+    with pytest.raises(ShapeError):
+        r({"a": 0})
+
+
+def test_arity_check(schema):
+    with pytest.raises(ShapeError):
+        rel(schema, ("a", "b"), {(0,): 1})
+
+
+def test_scalar(schema):
+    s = KRelation.scalar(schema, INT, 7)
+    assert s.shape == ()
+    assert s({}) == 7
+    assert KRelation.scalar(schema, INT, 0).support == {}
+
+
+def test_from_tuples_bag_semantics(schema):
+    rows = [{"a": 0}, {"a": 0}, {"a": 1}]
+    bag = KRelation.from_tuples(schema, NAT, ("a",), rows)
+    assert bag.support == {(0,): 2, (1,): 1}
+    s = KRelation.from_tuples(schema, BOOL, ("a",), rows)
+    assert s.support == {(0,): True, (1,): True}
+
+
+def test_add(schema):
+    x = rel(schema, ("a",), {(0,): 1, (1,): 2})
+    y = rel(schema, ("a",), {(1,): -2, (2,): 3})
+    z = x.add(y)
+    assert z.support == {(0,): 1, (2,): 3}  # (1,) cancels exactly
+
+
+def test_mul_intersects(schema):
+    x = rel(schema, ("a",), {(0,): 2, (1,): 3})
+    y = rel(schema, ("a",), {(1,): 5, (2,): 7})
+    assert x.mul(y).support == {(1,): 15}
+
+
+def test_pointwise_shape_mismatch(schema):
+    x = rel(schema, ("a",), {(0,): 1})
+    y = rel(schema, ("b",), {(0,): 1})
+    with pytest.raises(ShapeError):
+        x.add(y)
+    with pytest.raises(ShapeError):
+        x.mul(y)
+
+
+def test_contract(schema):
+    x = rel(schema, ("a", "b"), {(0, 0): 1, (0, 1): 2, (1, 0): 3})
+    c = x.contract("b")
+    assert c.shape == ("a",)
+    assert c.support == {(0,): 3, (1,): 3}
+    with pytest.raises(ShapeError):
+        x.contract("c")
+
+
+def test_contract_cancellation(schema):
+    x = rel(schema, ("a", "b"), {(0, 0): 1, (0, 1): -1})
+    assert x.contract("b").support == {}
+
+
+def test_expand(schema):
+    x = rel(schema, ("a",), {(1,): 5})
+    e = x.expand("b")
+    assert e.shape == ("a", "b")
+    assert e.support == {(1, 0): 5, (1, 1): 5, (1, 2): 5}
+    with pytest.raises(ShapeError):
+        x.expand("a")
+
+
+def test_expand_then_contract_scales(schema):
+    x = rel(schema, ("a",), {(1,): 5})
+    back = x.expand("b").contract("b")
+    assert back.support == {(1,): 15}  # |I_b| = 3 copies
+
+
+def test_rename(schema):
+    x = rel(schema, ("a",), {(1,): 5})
+    y = x.rename({"a": "c"})
+    assert y.shape == ("c",)
+    assert y.support == {(1,): 5}
+
+
+def test_rename_not_injective(schema):
+    x = rel(schema, ("a", "b"), {(0, 1): 1})
+    with pytest.raises(ShapeError):
+        x.rename({"a": "b"})
+
+
+def test_partial(schema):
+    x = rel(schema, ("a", "b"), {(0, 1): 5, (1, 1): 7})
+    p = x.partial("a", 0)
+    assert p.shape == ("b",)
+    assert p.support == {(1,): 5}
+    with pytest.raises(ShapeError):
+        x.partial("c", 0)
+
+
+def test_join_is_natural_join(schema):
+    x = rel(schema, ("a", "b"), {(0, 1): 2, (1, 2): 3})
+    y = rel(schema, ("b", "c"), {(1, 0): 5, (2, 2): 7})
+    j = x.join(y)
+    assert j.shape == ("a", "b", "c")
+    assert j.support == {(0, 1, 0): 10, (1, 2, 2): 21}
+
+
+def test_join_no_shared_attrs_is_product(schema):
+    x = rel(schema, ("a",), {(0,): 2})
+    y = rel(schema, ("b",), {(1,): 3})
+    assert x.join(y).support == {(0, 1): 6}
+
+
+def test_join_matches_expand_mul(schema):
+    x = rel(schema, ("a", "b"), {(0, 1): 2, (1, 2): 3})
+    y = rel(schema, ("b", "c"), {(1, 0): 5, (1, 2): 1})
+    via_join = x.join(y)
+    via_expand = x.expand("c").mul(y.expand("a"))
+    assert via_join.equal(via_expand)
+
+
+def test_total(schema):
+    x = rel(schema, ("a", "b"), {(0, 1): 2, (1, 2): 3})
+    assert x.total() == 5
+
+
+def test_to_dense(schema):
+    x = rel(schema, ("a",), {(1,): 5})
+    assert x.to_dense() == [0, 5, 0]
+    m = rel(schema, ("a", "b"), {(0, 2): 1})
+    dense = m.to_dense()
+    assert dense[0][2] == 1 and dense[1][1] == 0
+
+
+def test_reorder_like():
+    s1 = Schema.of(a=range(2), b=range(2))
+    s2 = s1.reorder(["b", "a"])
+    x = KRelation(s1, INT, ("a", "b"), {(0, 1): 5})
+    y = KRelation(s2, INT, ("a", "b"), {})
+    moved = x.reorder_like(y)
+    assert moved.shape == ("b", "a")
+    assert moved.support == {(1, 0): 5}
+
+
+def test_equal_uses_semiring_eq(schema):
+    x = rel(schema, ("a",), {(0,): 0.1 + 0.2}, sr=FLOAT)
+    y = rel(schema, ("a",), {(0,): 0.3}, sr=FLOAT)
+    assert x.equal(y)
+
+
+def test_repr_truncates(schema):
+    x = rel(schema, ("a", "b"), {(i, j): 1 for i in range(3) for j in range(3)})
+    assert "total" in repr(x)

@@ -1,0 +1,104 @@
+"""Property tests: K-relation algebra laws, checked on the free
+semiring N[X] where possible so they transfer to every semiring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.krelation import KRelation, Schema
+from repro.semirings import INT, NAT, PROVENANCE
+from repro.semirings.provenance import Polynomial
+from tests.strategies import sparse_data
+
+SCHEMA = Schema.of(a=range(8), b=range(8), c=range(8))
+
+
+def krel(shape, data, sr=INT):
+    return KRelation(SCHEMA, sr, shape, data)
+
+
+@given(sparse_data(("a", "b")), sparse_data(("a", "b")))
+def test_add_commutative(d1, d2):
+    x, y = krel(("a", "b"), d1), krel(("a", "b"), d2)
+    assert x.add(y).equal(y.add(x))
+
+
+@given(sparse_data(("a", "b")), sparse_data(("a", "b")), sparse_data(("a", "b")))
+def test_add_associative(d1, d2, d3):
+    x, y, z = (krel(("a", "b"), d) for d in (d1, d2, d3))
+    assert x.add(y).add(z).equal(x.add(y.add(z)))
+
+
+@given(sparse_data(("a", "b")), sparse_data(("a", "b")), sparse_data(("a", "b")))
+def test_mul_distributes_over_add(d1, d2, d3):
+    x, y, z = (krel(("a", "b"), d) for d in (d1, d2, d3))
+    assert x.mul(y.add(z)).equal(x.mul(y).add(x.mul(z)))
+
+
+@given(sparse_data(("a", "b")), sparse_data(("b", "c")))
+def test_join_contract_is_matrix_product(d1, d2):
+    """Σ_b (x ⋈ y) computed two ways: via join, and by explicit sums."""
+    x = krel(("a", "b"), d1)
+    y = krel(("b", "c"), d2)
+    got = x.join(y).contract("b")
+    expected = {}
+    for (a, b), v in d1.items():
+        for (b2, c), w in d2.items():
+            if b == b2:
+                expected[(a, c)] = expected.get((a, c), 0) + v * w
+    want = krel(("a", "c"), {k: v for k, v in expected.items() if v != 0})
+    assert got.equal(want)
+
+
+@given(sparse_data(("a", "b")), sparse_data(("b", "c")), sparse_data(("a", "c")))
+def test_join_associative(d1, d2, d3):
+    x = krel(("a", "b"), d1)
+    y = krel(("b", "c"), d2)
+    z = krel(("a", "c"), d3)
+    assert x.join(y).join(z).equal(x.join(y.join(z)))
+
+
+@given(sparse_data(("a", "b")))
+def test_contract_order_irrelevant(d):
+    x = krel(("a", "b"), d)
+    assert x.contract("a").contract("b").equal(x.contract("b").contract("a"))
+
+
+@given(sparse_data(("a",)))
+def test_expand_contract_roundtrip_scales_by_domain(d):
+    x = krel(("a",), d)
+    n = len(SCHEMA.domain("b"))
+    scaled = krel(("a",), {k: v * n for k, v in d.items()})
+    assert x.expand("b").contract("b").equal(scaled)
+
+
+@given(sparse_data(("a", "b")))
+def test_rename_roundtrip(d):
+    x = krel(("a", "b"), d)
+    assert x.rename({"a": "c"}).rename({"c": "a"}).equal(x)
+
+
+@given(sparse_data(("a", "b"), max_entries=6))
+def test_partial_application_recovers_relation(d):
+    """Summing partial applications over the domain equals contraction
+    (the semantics of Σ in Figure 4c)."""
+    x = krel(("a", "b"), d)
+    total = KRelation.zero(SCHEMA, INT, ("b",))
+    for i in SCHEMA.domain("a"):
+        total = total.add(x.partial("a", i))
+    assert total.equal(x.contract("a"))
+
+
+@given(sparse_data(("a", "b"), max_entries=5), sparse_data(("a", "b"), max_entries=5))
+def test_laws_transfer_to_provenance(d1, d2):
+    """Run the same data through N[X]: every identity that holds there
+    holds in all semirings (Green et al.)."""
+    x = KRelation(
+        SCHEMA, PROVENANCE, ("a", "b"),
+        {k: Polynomial.constant(abs(v)) for k, v in d1.items() if v},
+    )
+    y = KRelation(
+        SCHEMA, PROVENANCE, ("a", "b"),
+        {k: Polynomial.constant(abs(v)) for k, v in d2.items() if v},
+    )
+    assert x.mul(y).equal(y.mul(x))
+    assert x.add(y).equal(y.add(x))

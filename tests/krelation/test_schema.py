@@ -1,0 +1,84 @@
+"""Schemas and attributes (Definition 4.2)."""
+
+import pytest
+
+from repro.krelation import Attribute, Schema, ShapeError
+
+
+def test_attribute_basics():
+    a = Attribute("i", range(5))
+    assert a.finite
+    assert a.cardinality == 5
+    assert a.domain == (0, 1, 2, 3, 4)
+    b = Attribute("j")
+    assert not b.finite
+    with pytest.raises(ShapeError):
+        _ = b.cardinality
+
+
+def test_attribute_validation():
+    with pytest.raises(ValueError):
+        Attribute("")
+    with pytest.raises(ValueError):
+        Attribute("*")
+    with pytest.raises(ValueError):
+        Attribute("i", [3, 1, 2])  # must be strictly increasing
+    with pytest.raises(ValueError):
+        Attribute("i", [1, 1, 2])  # duplicates
+
+
+def test_attribute_eq_hash():
+    assert Attribute("i", range(3)) == Attribute("i", range(3))
+    assert Attribute("i", range(3)) != Attribute("i", range(4))
+    assert len({Attribute("i", range(3)), Attribute("i", range(3))}) == 1
+
+
+def test_schema_order_and_position():
+    s = Schema.of(b=range(2), a=range(2), c=None)
+    assert s.order == ("b", "a", "c")       # declaration order, not sorted
+    assert s.position("a") == 1
+    assert "c" in s
+    assert len(s) == 3
+    assert list(s) == ["b", "a", "c"]
+
+
+def test_schema_duplicate_names():
+    with pytest.raises(ValueError):
+        Schema([Attribute("a"), Attribute("a")])
+
+
+def test_schema_domain():
+    s = Schema.of(a=range(3), b=None)
+    assert s.domain("a") == (0, 1, 2)
+    with pytest.raises(ShapeError):
+        s.domain("b")
+    with pytest.raises(ShapeError):
+        s.domain("zzz")
+
+
+def test_sort_shape():
+    s = Schema.of(a=None, b=None, c=None)
+    assert s.sort_shape({"c", "a"}) == ("a", "c")
+    assert s.sort_shape(["b"]) == ("b",)
+    with pytest.raises(ShapeError):
+        s.sort_shape(["a", "a"])
+    with pytest.raises(ShapeError):
+        s.sort_shape(["q"])
+
+
+def test_reorder():
+    s = Schema.of(a=None, b=None)
+    r = s.reorder(["b", "a"])
+    assert r.order == ("b", "a")
+    assert r.sort_shape({"a", "b"}) == ("b", "a")
+    with pytest.raises(ValueError):
+        s.reorder(["a"])
+    with pytest.raises(ValueError):
+        s.reorder(["a", "c"])
+
+
+def test_check_shape():
+    s = Schema.of(a=None, b=None)
+    assert s.check_shape(["a"]) == frozenset({"a"})
+    with pytest.raises(ShapeError):
+        s.check_shape(["nope"])

@@ -1,0 +1,55 @@
+"""AST construction and operator sugar (Figure 4a)."""
+
+from repro.lang import (
+    Add, BroadcastAdd, BroadcastMul, Expand, Lit, Mul, Rename, Sum, Var,
+    sum_over,
+)
+
+
+def test_operator_sugar_builds_broadcast_nodes():
+    x, y = Var("x"), Var("y")
+    assert isinstance(x * y, BroadcastMul)
+    assert isinstance(x + y, BroadcastAdd)
+
+
+def test_scalar_operands_become_literals():
+    e = Var("x") * 2
+    assert isinstance(e.right, Lit) and e.right.value == 2
+    e2 = 3 + Var("x")
+    assert isinstance(e2.left, Lit) and e2.left.value == 3
+
+
+def test_sum_method_and_sum_over():
+    e = Var("x").sum("a", "b")
+    assert isinstance(e, Sum) and e.attr == "a"
+    assert isinstance(e.body, Sum) and e.body.attr == "b"
+    assert isinstance(e.body.body, Var)
+    e2 = sum_over((), Var("x"))
+    assert isinstance(e2, Var)
+
+
+def test_rename_method():
+    e = Var("x").rename(a="b")
+    assert isinstance(e, Rename)
+    assert e.mapping == {"a": "b"}
+
+
+def test_children():
+    x, y = Var("x"), Var("y")
+    assert (x * y).children() == (x, y)
+    assert (x + y).children() == (x, y)
+    assert Sum("a", x).children() == (x,)
+    assert Expand("a", x).children() == (x,)
+    assert Rename({"a": "b"}, x).children() == (x,)
+    assert x.children() == ()
+    assert Lit(1).children() == ()
+    assert Mul(x, y).children() == (x, y)
+    assert Add(x, y).children() == (x, y)
+
+
+def test_repr_is_readable():
+    e = Sum("b", Var("x") * Var("y"))
+    text = repr(e)
+    assert "Σ_b" in text and "x" in text and "y" in text
+    assert "⇑_a" in repr(Expand("a", Var("x")))
+    assert "name[" in repr(Rename({"a": "b"}, Var("x")))

@@ -1,0 +1,95 @@
+"""Denotational semantics ⟦–⟧ᵀ (Figure 4c) against hand computations."""
+
+import pytest
+
+from repro.krelation import KRelation, Schema, ShapeError
+from repro.lang import Lit, Rename, Sum, TypeContext, Var, denote
+from repro.semirings import BOOL, INT
+
+
+@pytest.fixture
+def setting():
+    schema = Schema.of(a=range(3), b=range(3), c=range(3))
+    ctx = TypeContext(schema, {"x": {"a", "b"}, "y": {"b", "c"}, "v": {"a"}})
+    x = KRelation(schema, INT, ("a", "b"), {(0, 1): 2, (1, 2): 3, (2, 0): 4})
+    y = KRelation(schema, INT, ("b", "c"), {(1, 0): 5, (2, 2): 7, (0, 1): 1})
+    v = KRelation(schema, INT, ("a",), {(0,): 1, (2,): 2})
+    return schema, ctx, {"x": x, "y": y, "v": v}
+
+
+def test_var(setting):
+    schema, ctx, b = setting
+    assert denote(Var("x"), ctx, b).equal(b["x"])
+
+
+def test_matrix_product(setting):
+    schema, ctx, b = setting
+    got = denote(Sum("b", Var("x") * Var("y")), ctx, b)
+    # (0,1)*[1->(0,5)] = (0,0):10 ; (1,2)*[2->(2,7)] = (1,2):21 ;
+    # (2,0)*[0->(1,1)] = (2,1):4
+    assert got.support == {(0, 0): 10, (1, 2): 21, (2, 1): 4}
+
+
+def test_elementwise_and_scalar(setting):
+    schema, ctx, b = setting
+    got = denote(Var("v") * Lit(10), ctx, b)
+    assert got.support == {(0,): 10, (2,): 20}
+
+
+def test_add_broadcast(setting):
+    schema, ctx, b = setting
+    got = denote(Var("v") + Var("v"), ctx, b)
+    assert got.support == {(0,): 2, (2,): 4}
+
+
+def test_full_contraction(setting):
+    schema, ctx, b = setting
+    got = denote(Var("x").sum("a", "b"), ctx, b)
+    assert got.support == {(): 9}
+    assert got.total() == 9
+
+
+def test_rename(setting):
+    schema, ctx, b = setting
+    got = denote(Rename({"a": "c"}, Var("v")), ctx, b)
+    assert got.shape == ("c",)
+    assert got.support == {(0,): 1, (2,): 2}
+
+
+def test_mixed_contracted_add(setting):
+    """(Σ_b x) + v requires aligning a contracted and a plain operand."""
+    schema, ctx, b = setting
+    got = denote(Sum("b", Var("x")) + Var("v"), ctx, b)
+    assert got.support == {(0,): 3, (1,): 3, (2,): 6}
+
+
+def test_binding_shape_mismatch(setting):
+    schema, ctx, b = setting
+    bad = dict(b)
+    bad["v"] = b["x"]
+    with pytest.raises(ShapeError):
+        denote(Var("v"), ctx, bad)
+
+
+def test_no_variables_fails(setting):
+    schema, ctx, b = setting
+    with pytest.raises(ShapeError):
+        denote(Lit(3), ctx, b)
+
+
+def test_literal_converted_via_from_int():
+    schema = Schema.of(a=range(2))
+    ctx = TypeContext(schema, {"r": {"a"}})
+    r = KRelation(schema, BOOL, ("a",), {(0,): True})
+    got = denote(Var("r") * Lit(1), ctx, {"r": r})
+    assert got.support == {(0,): True}
+
+
+def test_relational_selection_bool(setting):
+    """Selection as multiplication by a predicate (Figure 6)."""
+    schema = Schema.of(a=range(3))
+    ctx = TypeContext(schema, {"r": {"a"}, "p": {"a"}})
+    r = KRelation(schema, BOOL, ("a",), {(0,): True, (1,): True})
+    p = KRelation(schema, BOOL, ("a",), {(1,): True, (2,): True})
+    got = denote(Var("r") * Var("p"), ctx, {"r": r, "p": p})
+    assert got.support == {(1,): True}

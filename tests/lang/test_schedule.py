@@ -1,0 +1,74 @@
+"""Attribute-ordering heuristics (Section 7.3)."""
+
+import pytest
+
+from repro.krelation import ShapeError
+from repro.lang.schedule import (
+    OrderConflictError,
+    consistent_order,
+    primary_keys_first,
+    validate_order,
+)
+
+
+def test_consistent_order_respects_all_inputs():
+    order = consistent_order([("i", "j"), ("j", "k"), ("i", "k")])
+    validate_order(order, [("i", "j"), ("j", "k"), ("i", "k")])
+    assert order == ("i", "j", "k")
+
+
+def test_consistent_order_detects_cycles():
+    with pytest.raises(OrderConflictError):
+        consistent_order([("i", "j"), ("j", "i")])
+
+
+def test_consistent_order_priority_breaks_ties():
+    # i and k are both available first; priority pulls k ahead
+    order = consistent_order([("i", "j"), ("k", "j")], priority={"k": -1})
+    assert order.index("k") < order.index("i")
+
+
+def test_consistent_order_single_and_empty():
+    assert consistent_order([("a",)]) == ("a",)
+    assert consistent_order([]) == ()
+
+
+def test_primary_keys_first_tpch_like():
+    """Q5-like shape: orders(o,c), customer(c,n), lineitem(o,s,ln),
+    supplier(n,s): primary keys o, c, n, s pulled early."""
+    relations = {
+        "orders": ("o", "c"),
+        "customer": ("c", "n"),
+        "lineitem": ("o", "s", "ln"),
+        "supplier": ("n", "s"),
+    }
+    order = primary_keys_first(relations, output=("n",))
+    validate_order(order, relations.values())
+    # o is a primary key with no predecessors: it must lead
+    assert order[0] == "o"
+    # ln is no one's key and constrained after s: it trails
+    assert order[-1] == "ln"
+
+
+def test_primary_keys_first_output_priority():
+    relations = {"r": ("a",), "s": ("b",), "t": ("c",)}
+    order = primary_keys_first(relations, output=("b",))
+    # all three unconstrained; a/b/c all primaries; ties lexicographic
+    assert set(order) == {"a", "b", "c"}
+
+
+def test_validate_order_rejects_non_subsequence():
+    with pytest.raises(ShapeError):
+        validate_order(("i", "j"), [("j", "i")])
+    with pytest.raises(ShapeError):
+        validate_order(("i",), [("i", "j")])
+    validate_order(("i", "j", "k"), [("i", "k"), ("j",), ()])
+
+
+def test_matmul_orders_both_valid():
+    """Both classic matmul orders are consistent; the choice is the
+    §5.4.1 asymptotic decision, not a validity question."""
+    rows = consistent_order([("i", "k"), ("k", "j")])
+    validate_order(rows, [("i", "k"), ("k", "j")])
+    inner = consistent_order([("i", "k"), ("j", "k")], priority={"j": -1})
+    validate_order(inner, [("i", "k"), ("j", "k")])

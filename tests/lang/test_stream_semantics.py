@@ -1,0 +1,160 @@
+"""The stream semantics ⟦–⟧ˢ (Figure 9) agrees with ⟦–⟧ᵀ.
+
+Each case interprets an expression as nested indexed streams, evaluates
+them (Definition 5.11), and compares with the denotational result —
+instances of the paper's commuting diagram (Figure 3).
+"""
+
+import pytest
+
+from repro.krelation import KRelation, Schema, ShapeError
+from repro.lang import Expand, Lit, Rename, Sum, TypeContext, Var, denote
+from repro.lang.stream_semantics import interpret, schema_insert
+from repro.semirings import BOOL, INT, MIN_PLUS
+from repro.streams import evaluate, from_krelation, stream_to_krelation
+
+
+def both_ways(expr, ctx, krels):
+    truth = denote(expr, ctx, krels)
+    streams = {name: from_krelation(rel) for name, rel in krels.items()}
+    stream = interpret(expr, ctx, streams)
+    got = stream_to_krelation(stream, ctx.schema)
+    assert got.equal(truth), (
+        f"{expr!r}\n got {sorted(got.support.items())}"
+        f"\nwant {sorted(truth.support.items())}"
+    )
+    return got
+
+
+@pytest.fixture
+def setting():
+    schema = Schema.of(a=range(4), b=range(4), c=range(4))
+    ctx = TypeContext(
+        schema,
+        {"x": {"a", "b"}, "y": {"b", "c"}, "z": {"a", "b"}, "v": {"a"}, "w": {"c"}},
+    )
+    krels = {
+        "x": KRelation(schema, INT, ("a", "b"),
+                       {(0, 1): 2, (1, 2): 3, (2, 0): 4, (3, 3): 1}),
+        "y": KRelation(schema, INT, ("b", "c"),
+                       {(1, 0): 5, (2, 2): 7, (0, 1): 1, (3, 3): 2}),
+        "z": KRelation(schema, INT, ("a", "b"), {(0, 1): -2, (2, 2): 6}),
+        "v": KRelation(schema, INT, ("a",), {(0,): 1, (2,): 2}),
+        "w": KRelation(schema, INT, ("c",), {(1,): 3}),
+    }
+    return ctx, krels
+
+
+def test_variable(setting):
+    both_ways(Var("x"), *setting)
+
+
+def test_elementwise_product(setting):
+    both_ways(Var("x") * Var("z"), *setting)
+
+
+def test_elementwise_sum(setting):
+    both_ways(Var("x") + Var("z"), *setting)
+
+
+def test_sum_cancellation(setting):
+    both_ways(Var("x") + Var("z") + Var("z"), *setting)
+
+
+def test_matrix_multiply(setting):
+    both_ways(Sum("b", Var("x") * Var("y")), *setting)
+
+
+def test_full_contraction(setting):
+    ctx, krels = setting
+    got = both_ways(Var("x").sum("a", "b"), ctx, krels)
+    assert got.total() == 10
+
+
+def test_outer_product(setting):
+    both_ways(Var("v") * Var("w"), *setting)
+
+
+def test_expansion_explicit(setting):
+    both_ways(Expand("c", Var("v")), *setting)
+
+
+def test_expand_then_contract(setting):
+    both_ways(Sum("c", Expand("c", Var("v"))), *setting)
+
+
+def test_scalar_literal_product(setting):
+    both_ways(Var("x") * Lit(3), *setting)
+
+
+def test_mixed_dummy_addition(setting):
+    """(Σ_b x) + v: one operand has a dummy level, the other does not."""
+    both_ways(Sum("b", Var("x")) + Var("v"), *setting)
+
+
+def test_mixed_dummy_multiplication(setting):
+    both_ways(Sum("b", Var("x")) * Var("v"), *setting)
+
+
+def test_dummy_both_sides_add(setting):
+    both_ways(Sum("b", Var("x")) + Sum("b", Var("z")), *setting)
+
+
+def test_dummy_both_sides_mul(setting):
+    both_ways(Sum("b", Var("x")) * Sum("b", Var("z")), *setting)
+
+
+def test_triple_product_then_sum(setting):
+    both_ways(Sum("b", Var("x") * Var("z") * Var("x")), *setting)
+
+
+def test_rename_in_order(setting):
+    both_ways(Rename({"b": "c"}, Var("x")), *setting)
+
+
+def test_rename_out_of_order_materializes(setting):
+    """Renaming a to c turns shape (a,b) into (b,c): levels must be
+    transposed, which the semantics realizes with a temporary."""
+    both_ways(Rename({"a": "c"}, Var("x")), *setting)
+
+
+def test_composition_after_rename(setting):
+    ctx, krels = setting
+    expr = Sum("b", Rename({"a": "b", "b": "c"}, Var("x")) * Var("x"))
+    both_ways(expr, ctx, krels)
+
+
+def test_semiring_min_plus():
+    schema = Schema.of(a=range(3), b=range(3))
+    ctx = TypeContext(schema, {"x": {"a", "b"}, "y": {"b"}})
+    x = KRelation(schema, MIN_PLUS, ("a", "b"), {(0, 0): 1.0, (0, 1): 5.0, (1, 1): 2.0})
+    y = KRelation(schema, MIN_PLUS, ("b",), {(0,): 3.0, (1,): 1.0})
+    both_ways(Sum("b", Var("x") * Var("y")), ctx, {"x": x, "y": y})
+
+
+def test_boolean_join():
+    schema = Schema.of(a=range(3), b=range(3), c=range(3))
+    ctx = TypeContext(schema, {"r": {"a", "b"}, "s": {"b", "c"}})
+    r = KRelation(schema, BOOL, ("a", "b"), {(0, 1): True, (1, 2): True})
+    s = KRelation(schema, BOOL, ("b", "c"), {(1, 2): True, (2, 0): True})
+    got = both_ways(Sum("b", Var("r") * Var("s")), ctx, {"r": r, "s": s})
+    assert got.support == {(0, 2): True, (1, 0): True}
+
+
+def test_binding_with_wrong_level_order_is_transposed(setting):
+    ctx, krels = setting
+    # build x with levels (b, a): interpret must repack it
+    flipped = {(b, a): v for (a, b), v in krels["x"].support.items()}
+    xs = from_krelation(
+        KRelation(ctx.schema.reorder(("b", "a", "c")), INT, ("b", "a"), flipped)
+    )
+    streams = {"x": xs}
+    got = stream_to_krelation(interpret(Var("x"), ctx, streams), ctx.schema)
+    assert got.equal(krels["x"])
+
+
+def test_schema_insert():
+    schema = Schema.of(a=None, b=None, c=None)
+    assert schema_insert(("a", "c"), "b", schema) == ("a", "b", "c")
+    assert schema_insert((), "b", schema) == ("b",)
+    assert schema_insert(("a", "b"), "c", schema) == ("a", "b", "c")

@@ -1,0 +1,98 @@
+"""The shape type system (Figure 4b) and broadcast elaboration."""
+
+import pytest
+
+from repro.krelation import Schema, ShapeError
+from repro.lang import (
+    Add, Expand, Lit, Mul, Rename, Sum, TypeContext, Var,
+    elaborate, shape_of,
+)
+
+
+@pytest.fixture
+def ctx():
+    schema = Schema.of(a=None, b=None, c=None)
+    return TypeContext(schema, {"x": {"a", "b"}, "y": {"b", "c"}, "s": set()})
+
+
+def test_var_shape(ctx):
+    assert shape_of(Var("x"), ctx) == {"a", "b"}
+    with pytest.raises(ShapeError):
+        shape_of(Var("unbound"), ctx)
+
+
+def test_lit_shape(ctx):
+    assert shape_of(Lit(3), ctx) == frozenset()
+
+
+def test_core_add_mul_require_equal_shapes(ctx):
+    with pytest.raises(ShapeError):
+        shape_of(Mul(Var("x"), Var("y")), ctx)
+    with pytest.raises(ShapeError):
+        shape_of(Add(Var("x"), Var("y")), ctx)
+    assert shape_of(Mul(Var("x"), Var("x")), ctx) == {"a", "b"}
+
+
+def test_broadcast_shapes_are_union(ctx):
+    assert shape_of(Var("x") * Var("y"), ctx) == {"a", "b", "c"}
+    assert shape_of(Var("x") + Var("y"), ctx) == {"a", "b", "c"}
+
+
+def test_sum_rule(ctx):
+    assert shape_of(Sum("a", Var("x")), ctx) == {"b"}
+    with pytest.raises(ShapeError):
+        shape_of(Sum("c", Var("x")), ctx)
+
+
+def test_expand_rule(ctx):
+    assert shape_of(Expand("c", Var("x")), ctx) == {"a", "b", "c"}
+    with pytest.raises(ShapeError):
+        shape_of(Expand("a", Var("x")), ctx)
+    with pytest.raises(ShapeError):
+        shape_of(Expand("zzz", Var("x")), ctx)
+
+
+def test_rename_rule(ctx):
+    assert shape_of(Rename({"a": "c"}, Var("x")), ctx) == {"b", "c"}
+    with pytest.raises(ShapeError):
+        shape_of(Rename({"a": "b"}, Var("x")), ctx)  # not injective
+    with pytest.raises(ShapeError):
+        shape_of(Rename({"c": "a"}, Var("x")), ctx)  # source absent
+
+
+def test_matrix_multiply_example(ctx):
+    """Example 4.1: Σ_b(⇑_c x · ⇑_a y) has shape {a, c}."""
+    e = Sum("b", Mul(Expand("c", Var("x")), Expand("a", Var("y"))))
+    assert shape_of(e, ctx) == {"a", "c"}
+
+
+def test_elaborate_inserts_expansions(ctx):
+    e = elaborate(Var("x") * Var("y"), ctx)
+    assert isinstance(e, Mul)
+    # x : {a,b} gains c; y : {b,c} gains a
+    assert isinstance(e.left, Expand) and e.left.attr == "c"
+    assert isinstance(e.right, Expand) and e.right.attr == "a"
+    assert shape_of(e, ctx) == {"a", "b", "c"}
+
+
+def test_elaborate_preserves_shape(ctx):
+    for expr in (
+        Var("x") * Var("y"),
+        Var("x") + Var("y"),
+        Sum("b", Var("x") * Var("y")),
+        Sum("b", Var("x")) + Var("y").sum("b", "c"),
+        Var("s") * Var("x"),
+    ):
+        assert shape_of(elaborate(expr, ctx), ctx) == shape_of(expr, ctx)
+
+
+def test_elaborate_is_idempotent_on_core(ctx):
+    core = elaborate(Sum("b", Var("x") * Var("y")), ctx)
+    again = elaborate(core, ctx)
+    assert repr(core) == repr(again)
+
+
+def test_context_validates_attributes():
+    schema = Schema.of(a=None)
+    with pytest.raises(ShapeError):
+        TypeContext(schema, {"x": {"zzz"}})

@@ -1,0 +1,103 @@
+"""Figure 6: the relational-algebra → ℒ translation, validated against
+set semantics computed directly on the relations."""
+
+import pytest
+
+from repro.krelation import KRelation, Schema, ShapeError
+from repro.lang import TypeContext, denote
+from repro.relational import (
+    RAJoin, RAProject, RARename, RASelect, RATable, RAUnion,
+    ra_shape, ra_to_expr,
+)
+from repro.semirings import BOOL
+
+
+SCHEMA = Schema.of(a=range(4), b=range(4), c=range(4))
+
+
+def bool_rel(shape, tuples):
+    return KRelation(SCHEMA, BOOL, shape, {t: True for t in tuples})
+
+
+@pytest.fixture
+def ctx():
+    return TypeContext(
+        SCHEMA,
+        {"R": {"a", "b"}, "S": {"b", "c"}, "T": {"a", "b"}, "p": {"a"}},
+    )
+
+
+@pytest.fixture
+def bindings():
+    return {
+        "R": bool_rel(("a", "b"), [(0, 1), (1, 2), (2, 2)]),
+        "S": bool_rel(("b", "c"), [(1, 3), (2, 0)]),
+        "T": bool_rel(("a", "b"), [(0, 1), (3, 3)]),
+        "p": bool_rel(("a",), [(1,), (2,)]),
+    }
+
+
+def run(ra, ctx, bindings):
+    return denote(ra_to_expr(ra, ctx), ctx, bindings)
+
+
+def test_table(ctx, bindings):
+    assert run(RATable("R"), ctx, bindings).equal(bindings["R"])
+
+
+def test_union_is_set_union(ctx, bindings):
+    got = run(RAUnion(RATable("R"), RATable("T")), ctx, bindings)
+    want = bool_rel(("a", "b"), [(0, 1), (1, 2), (2, 2), (3, 3)])
+    assert got.equal(want)
+
+
+def test_union_schema_mismatch(ctx):
+    with pytest.raises(ShapeError):
+        ra_shape(RAUnion(RATable("R"), RATable("S")), ctx)
+
+
+def test_join_is_natural_join(ctx, bindings):
+    got = run(RAJoin(RATable("R"), RATable("S")), ctx, bindings)
+    want = bool_rel(("a", "b", "c"), [(0, 1, 3), (1, 2, 0), (2, 2, 0)])
+    assert got.equal(want)
+
+
+def test_projection_is_sum(ctx, bindings):
+    got = run(RAProject(("a",), RATable("R")), ctx, bindings)
+    want = bool_rel(("a",), [(0,), (1,), (2,)])
+    assert got.equal(want)
+
+
+def test_projection_absent_attr(ctx):
+    with pytest.raises(ShapeError):
+        ra_shape(RAProject(("c",), RATable("R")), ctx)
+
+
+def test_selection_is_predicate_product(ctx, bindings):
+    got = run(RASelect("p", RATable("R")), ctx, bindings)
+    want = bool_rel(("a", "b"), [(1, 2), (2, 2)])
+    assert got.equal(want)
+
+
+def test_selection_wider_predicate_rejected(ctx):
+    with pytest.raises(ShapeError):
+        ra_shape(RASelect("S", RATable("p")), ctx)
+
+
+def test_rename(ctx, bindings):
+    got = run(RARename({"b": "c"}, RATable("R")), ctx, bindings)
+    assert set(got.shape) == {"a", "c"}
+
+
+def test_fluent_composition(ctx, bindings):
+    """π_a (σ_p (R ⋈ S)) — the Example 2.1-style filter-then-project."""
+    ra = RATable("R").join(RATable("S")).select("p").project("a")
+    got = run(ra, ctx, bindings)
+    want = bool_rel(("a",), [(1,), (2,)])
+    assert got.equal(want)
+    assert ra_shape(ra, ctx) == frozenset({"a"})
+
+
+def test_shapes(ctx):
+    assert ra_shape(RAJoin(RATable("R"), RATable("S")), ctx) == {"a", "b", "c"}
+    assert ra_shape(RARename({"a": "c"}, RATable("R")), ctx) == {"b", "c"}

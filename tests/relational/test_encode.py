@@ -1,0 +1,84 @@
+"""Dictionary encoding and relation → tensor packing."""
+
+import pytest
+
+from repro.relational import ColumnEncoder, Relation, relation_to_tensor
+from repro.semirings import BOOL, FLOAT, NAT
+
+
+def test_column_encoder_shares_codes_across_relations():
+    enc = ColumnEncoder()
+    enc.register("city", ["paris", "oslo"])
+    enc.register("city", ["lima"])
+    d = enc.dictionary("city")
+    assert len(d) == 3
+    assert enc.encode("city", "lima") == 0  # sorted order
+    assert enc.decode("city", 2) == "paris"
+    assert enc.dim("city") == 3
+
+
+def test_register_after_freeze_rejected():
+    enc = ColumnEncoder()
+    enc.register("c", ["x"])
+    enc.dictionary("c")
+    with pytest.raises(RuntimeError):
+        enc.register("c", ["y"])
+
+
+def test_unknown_attribute():
+    enc = ColumnEncoder()
+    with pytest.raises(KeyError):
+        enc.dictionary("nope")
+
+
+def test_relation_to_tensor_presence():
+    rel = Relation(("x", "y"), [(0, 1), (2, 3), (0, 1)])
+    t = relation_to_tensor(rel, ("x", "y"), semiring=BOOL)
+    assert t.to_dict() == {(0, 1): True, (2, 3): True}
+    assert t.attrs == ("x", "y")
+
+
+def test_relation_to_tensor_bag_counts():
+    rel = Relation(("x",), [(0,), (0,), (1,)])
+    t = relation_to_tensor(rel, ("x",), semiring=NAT,
+                           measure=lambda row: 1)
+    # duplicate keys sum their measures
+    assert t.to_dict() == {(0,): 2.0, (1,): 1.0} or t.to_dict() == {(0,): 2, (1,): 1}
+
+
+def test_relation_to_tensor_measure_aggregates():
+    rel = Relation(("k", "v"), [(0, 2.0), (0, 3.0), (1, 10.0)])
+    t = relation_to_tensor(rel, ("k",), measure=lambda row: row["v"])
+    assert t.to_dict() == {(0,): 5.0, (1,): 10.0}
+
+
+def test_string_columns_need_encoder():
+    rel = Relation(("name",), [("bob",)])
+    with pytest.raises(TypeError):
+        relation_to_tensor(rel, ("name",))
+    enc = ColumnEncoder()
+    enc.register("name", ["bob", "eve"])
+    t = relation_to_tensor(rel, ("name",), encoder=enc, semiring=BOOL)
+    assert t.to_dict() == {(enc.encode("name", "bob"),): True}
+    assert t.dims == (2,)
+
+
+def test_attr_rename_and_dims():
+    rel = Relation(("r_key",), [(1,), (3,)])
+    t = relation_to_tensor(rel, ("r_key",), attr_names={"r_key": "r"},
+                           dims={"r": 10}, semiring=BOOL)
+    assert t.attrs == ("r",)
+    assert t.dims == (10,)
+
+
+def test_default_dims_from_max_code():
+    rel = Relation(("k",), [(7,)])
+    t = relation_to_tensor(rel, ("k",), semiring=BOOL)
+    assert t.dims == (8,)
+
+
+def test_formats_selectable():
+    rel = Relation(("a", "b"), [(0, 0), (1, 1)])
+    t = relation_to_tensor(rel, ("a", "b"), formats=("dense", "sparse"),
+                           dims={"a": 2, "b": 2}, semiring=BOOL)
+    assert t.formats == ("dense", "sparse")

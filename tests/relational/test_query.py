@@ -1,0 +1,52 @@
+"""The Query convenience layer: compiled aggregate queries."""
+
+import pytest
+
+from repro.compiler.kernel import OutputSpec
+from repro.lang import Sum, Var, sum_over
+from repro.relational import Query, Relation, relation_to_tensor
+from repro.semirings import FLOAT
+
+
+def test_group_by_sum_via_contraction():
+    """SELECT dept, SUM(salary) FROM emp GROUP BY dept — as Σ."""
+    emp = Relation(("dept", "emp_id", "salary"),
+                   [(0, 0, 100.0), (0, 1, 50.0), (2, 2, 75.0)])
+    t = relation_to_tensor(
+        emp, ("dept", "emp_id"),
+        measure=lambda row: row["salary"],
+        dims={"dept": 3, "emp_id": 3},
+    )
+    q = Query(("dept", "emp_id"), FLOAT).bind("emp", t)
+    out = q.run(
+        Sum("emp_id", Var("emp")),
+        OutputSpec(("dept",), ("dense",), (3,)),
+        name="q_groupby",
+    )
+    assert out.to_dict() == {(0,): 150.0, (2,): 75.0}
+
+
+def test_join_aggregate_two_relations():
+    """Total revenue of orders joined with customers per nation."""
+    cust = Relation(("nation", "cust"), [(0, 0), (0, 1), (1, 2)])
+    orders = Relation(("cust", "amount"),
+                      [(0, 10.0), (1, 5.0), (1, 2.0), (2, 7.0)])
+    tc = relation_to_tensor(cust, ("nation", "cust"), measure=lambda r: 1.0,
+                            dims={"nation": 2, "cust": 3})
+    to = relation_to_tensor(orders, ("cust",), measure=lambda r: r["amount"],
+                            dims={"cust": 3})
+    q = Query(("nation", "cust"), FLOAT).bind("c", tc).bind("o", to)
+    out = q.run(
+        Sum("cust", Var("c") * Var("o")),
+        OutputSpec(("nation",), ("dense",), (2,)),
+        name="q_revenue",
+    )
+    assert out.to_dict() == {(0,): 17.0, (1,): 7.0}
+
+
+def test_compile_returns_reusable_kernel():
+    rel = Relation(("k",), [(0,), (2,)])
+    t = relation_to_tensor(rel, ("k",), measure=lambda r: 1.0, dims={"k": 3})
+    q = Query(("k",), FLOAT).bind("r", t)
+    kernel = q.compile(Sum("k", Var("r")), name="q_count")
+    assert kernel.run({"r": t}) == 2.0

@@ -1,0 +1,50 @@
+"""The Relation container."""
+
+import pytest
+
+from repro.relational import Relation
+
+
+def test_construction_and_len():
+    r = Relation(("a", "b"), [(1, "x"), (2, "y")])
+    assert len(r) == 2
+    assert list(r) == [(1, "x"), (2, "y")]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Relation(("a", "a"), [])
+    with pytest.raises(ValueError):
+        Relation(("a", "b"), [(1,)])
+
+
+def test_from_dicts():
+    r = Relation.from_dicts(("a", "b"), [{"a": 1, "b": 2}, {"b": 4, "a": 3}])
+    assert r.rows == [(1, 2), (3, 4)]
+
+
+def test_column():
+    r = Relation(("a", "b"), [(1, "x"), (2, "y")])
+    assert r.column("b") == ["x", "y"]
+    with pytest.raises(KeyError):
+        r.column("zzz")
+
+
+def test_project_dedupes():
+    r = Relation(("a", "b"), [(1, "x"), (1, "y"), (2, "x")])
+    p = r.project(("a",))
+    assert p.rows == [(1,), (2,)]
+
+
+def test_select():
+    r = Relation(("a",), [(1,), (2,), (3,)])
+    assert r.select(lambda row: row["a"] > 1).rows == [(2,), (3,)]
+
+
+def test_rename():
+    r = Relation(("a", "b"), [(1, 2)])
+    assert r.rename({"a": "c"}).columns == ("c", "b")
+
+
+def test_repr():
+    assert "2 rows" in repr(Relation(("a",), [(1,), (2,)]))

@@ -1,0 +1,159 @@
+"""The SQL front end: parsing, execution, and SQLite cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sqlite_bridge import SqliteDB
+from repro.relational import Relation
+from repro.relational.sql import SqlError, parse, run
+
+
+@pytest.fixture
+def tables():
+    rng = np.random.default_rng(4)
+    emp = Relation(
+        ("emp_id", "dept_id", "salary"),
+        [(e, int(rng.integers(0, 4)), float(rng.integers(30, 100))) for e in range(30)],
+    )
+    dept = Relation(("dept_id", "dept_name"),
+                    [(0, "eng"), (1, "ops"), (2, "hr"), (3, "eng2")])
+    return {"emp": emp, "dept": dept}
+
+
+def sqlite_check(sql, tables):
+    db = SqliteDB()
+    for name, rel in tables.items():
+        db.load(name, rel)
+    rows = db.query(sql)
+    db.close()
+    return sorted(tuple(r) for r in rows)
+
+
+def approx_rows(a, b):
+    assert len(a) == len(b), (a, b)
+    for ra, rb in zip(sorted(a, key=str), sorted(b, key=str)):
+        assert len(ra) == len(rb)
+        for va, vb in zip(ra, rb):
+            if isinstance(va, float) or isinstance(vb, float):
+                assert va == pytest.approx(vb)
+            else:
+                assert va == vb
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def test_parse_shape():
+    q = parse("SELECT dept_name, SUM(salary) FROM emp, dept "
+              "WHERE emp.dept_id = dept.dept_id GROUP BY dept_name")
+    assert len(q.outputs) == 2
+    assert q.outputs[0].kind == "column"
+    assert q.outputs[1].kind == "sum"
+    assert q.tables == [("emp", "emp"), ("dept", "dept")]
+    assert q.predicates[0].is_join
+    assert q.group_by == ["dept_name"]
+    assert q.is_aggregate
+
+
+def test_parse_aliases_and_literals():
+    q = parse("SELECT e.salary FROM emp e WHERE e.salary >= 50 AND e.dept_id = 2")
+    assert q.tables == [("emp", "e")]
+    assert q.predicates[0].op == ">=" and q.predicates[0].right == 50
+    assert not q.predicates[1].right_is_column
+
+
+def test_parse_sum_arithmetic():
+    q = parse("SELECT SUM(price * (1 - discount)) FROM t")
+    [out] = q.outputs
+    assert out.kind == "sum"
+    # distributed into price*1 and price*(-discount)
+    assert len(out.terms) == 2
+
+
+def test_parse_errors():
+    with pytest.raises(SqlError):
+        parse("DELETE FROM t")
+    with pytest.raises(SqlError):
+        parse("SELECT a FROM t WHERE a LIKE 'x'")
+    with pytest.raises(SqlError):
+        parse("SELECT a FROM t extra garbage ,")
+
+
+# ----------------------------------------------------------------------
+# execution vs SQLite
+# ----------------------------------------------------------------------
+def test_projection(tables):
+    sql = "SELECT dept_id FROM emp"
+    got = run(sql, tables)
+    want = sqlite_check("SELECT DISTINCT dept_id FROM emp", tables)
+    approx_rows(got, want)
+
+
+def test_selection(tables):
+    sql = "SELECT emp_id FROM emp WHERE salary >= 70"
+    approx_rows(run(sql, tables), sqlite_check(sql, tables))
+
+
+def test_join_group_by_sum(tables):
+    sql = ("SELECT dept_name, SUM(salary) FROM emp, dept "
+           "WHERE emp.dept_id = dept.dept_id GROUP BY dept_name")
+    approx_rows(run(sql, tables), sqlite_check(sql, tables))
+
+
+def test_count_star(tables):
+    sql = ("SELECT dept_name, COUNT(*) FROM emp, dept "
+           "WHERE emp.dept_id = dept.dept_id GROUP BY dept_name")
+    approx_rows(run(sql, tables), sqlite_check(sql, tables))
+
+
+def test_sum_arithmetic_body(tables):
+    sql = "SELECT SUM(salary * (1 - 0.1) + 2) FROM emp"
+    approx_rows(run(sql, tables), sqlite_check(sql, tables))
+
+
+def test_string_literal_filter(tables):
+    sql = ("SELECT emp_id FROM emp, dept "
+           "WHERE emp.dept_id = dept.dept_id AND dept_name = 'eng'")
+    approx_rows(run(sql, tables), sqlite_check(sql, tables))
+
+
+def test_three_way_join(tables):
+    grades = Relation(("emp_id", "grade"), [(e, e % 3) for e in range(30)])
+    tabs = dict(tables, grades=grades)
+    sql = ("SELECT grade, SUM(salary) FROM emp, dept, grades "
+           "WHERE emp.dept_id = dept.dept_id AND emp.emp_id = grades.emp_id "
+           "AND dept_name = 'eng' GROUP BY grade")
+    approx_rows(run(sql, tabs), sqlite_check(sql, tabs))
+
+
+def test_self_join_with_aliases():
+    edges = Relation(("src", "dst"), [(0, 1), (1, 2), (0, 2), (2, 3)])
+    sql = ("SELECT COUNT(*) FROM edges e1, edges e2 "
+           "WHERE e1.dst = e2.src")
+    got = run(sql, {"edges": edges})
+    db = SqliteDB()
+    db.load("edges", edges)
+    want = sorted(tuple(r) for r in db.query(
+        "SELECT COUNT(*) FROM edges e1, edges e2 WHERE e1.dst = e2.src"))
+    db.close()
+    approx_rows(got, want)
+
+
+def test_ambiguous_column_rejected(tables):
+    with pytest.raises(SqlError):
+        run("SELECT dept_id FROM emp, dept", tables)
+
+
+def test_unknown_table():
+    with pytest.raises(SqlError):
+        run("SELECT a FROM nope", {})
+
+
+def test_to_algebra_shape(tables):
+    from repro.relational.algebra import RAProject
+
+    q = parse("SELECT dept_name FROM emp, dept WHERE emp.dept_id = dept.dept_id "
+              "AND salary >= 50")
+    ra = q.to_algebra()
+    assert isinstance(ra, RAProject)
+    assert ra.attrs == ("dept_name",)

@@ -1,0 +1,133 @@
+"""Property tests: every instance satisfies the semiring axioms
+(Definition 4.5).  The paper relies on each axiom for a specific
+optimization — absorption for sparsity, distributivity for factoring —
+so breaking one here would invalidate the whole model."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.semirings import (
+    BOOL, FLOAT, INT, MAX_PLUS, MAX_TIMES, MIN_PLUS, NAT, PROVENANCE,
+)
+from tests.strategies import provenance_polynomials, semiring_and_elements
+
+
+@given(semiring_and_elements(3))
+def test_add_associative(data):
+    sr, (x, y, z) = data
+    assert sr.eq(sr.add(sr.add(x, y), z), sr.add(x, sr.add(y, z)))
+
+
+@given(semiring_and_elements(2))
+def test_add_commutative(data):
+    sr, (x, y) = data
+    assert sr.eq(sr.add(x, y), sr.add(y, x))
+
+
+@given(semiring_and_elements(1))
+def test_add_identity(data):
+    sr, (x,) = data
+    assert sr.eq(sr.add(x, sr.zero), x)
+    assert sr.eq(sr.add(sr.zero, x), x)
+
+
+@given(semiring_and_elements(3))
+def test_mul_associative(data):
+    sr, (x, y, z) = data
+    assert sr.eq(sr.mul(sr.mul(x, y), z), sr.mul(x, sr.mul(y, z)))
+
+
+@given(semiring_and_elements(1))
+def test_mul_identity(data):
+    sr, (x,) = data
+    assert sr.eq(sr.mul(x, sr.one), x)
+    assert sr.eq(sr.mul(sr.one, x), x)
+
+
+@given(semiring_and_elements(1))
+def test_absorption(data):
+    """0·x = x·0 = 0 — the law that justifies skipping missing entries."""
+    sr, (x,) = data
+    assert sr.eq(sr.mul(sr.zero, x), sr.zero)
+    assert sr.eq(sr.mul(x, sr.zero), sr.zero)
+
+
+@given(semiring_and_elements(3))
+def test_distributivity(data):
+    """x(y+z) = xy+xz — the law behind contraction-before-product."""
+    sr, (x, y, z) = data
+    assert sr.eq(sr.mul(x, sr.add(y, z)), sr.add(sr.mul(x, y), sr.mul(x, z)))
+    assert sr.eq(sr.mul(sr.add(x, y), z), sr.add(sr.mul(x, z), sr.mul(y, z)))
+
+
+@given(semiring_and_elements(1))
+def test_idempotence_flag(data):
+    sr, (x,) = data
+    if sr.idempotent_add:
+        assert sr.eq(sr.add(x, x), x)
+
+
+def test_sum_product_pow():
+    assert INT.sum([1, 2, 3]) == 6
+    assert INT.product([2, 3, 4]) == 24
+    assert INT.pow(2, 5) == 32
+    assert INT.pow(7, 0) == 1
+    with pytest.raises(ValueError):
+        INT.pow(2, -1)
+
+
+def test_from_int():
+    assert INT.from_int(5) == 5
+    assert BOOL.from_int(0) is False
+    assert BOOL.from_int(3) is True
+    assert MIN_PLUS.from_int(0) == math.inf  # empty tropical sum
+    assert MIN_PLUS.from_int(2) == 0.0
+    with pytest.raises(ValueError):
+        NAT.from_int(-1)
+
+
+def test_element_checks():
+    assert BOOL.is_element(True)
+    assert not BOOL.is_element(1)
+    assert NAT.is_element(3)
+    assert not NAT.is_element(-1)
+    assert not NAT.is_element(True)
+    assert FLOAT.is_element(1.5)
+    assert MAX_TIMES.is_element(0.5)
+    assert not MAX_TIMES.is_element(1.5)
+
+
+def test_check_element_raises():
+    from repro.semirings import SemiringElementError
+
+    with pytest.raises(SemiringElementError):
+        NAT.check_element(-3)
+    assert NAT.check_element(4) == 4
+
+
+def test_float_eq_tolerance():
+    assert FLOAT.eq(0.1 + 0.2, 0.3)
+    assert not FLOAT.eq(1.0, 1.0001)
+
+
+def test_tropical_identities():
+    assert MIN_PLUS.zero == math.inf
+    assert MIN_PLUS.one == 0.0
+    assert MIN_PLUS.add(3.0, 5.0) == 3.0
+    assert MIN_PLUS.mul(3.0, 5.0) == 8.0
+    assert MAX_PLUS.add(3.0, 5.0) == 5.0
+    assert MAX_PLUS.zero == -math.inf
+
+
+@given(provenance_polynomials(), provenance_polynomials(), provenance_polynomials())
+def test_provenance_semiring_axioms(p, q, r):
+    sr = PROVENANCE
+    assert sr.add(sr.add(p, q), r) == sr.add(p, sr.add(q, r))
+    assert sr.add(p, q) == sr.add(q, p)
+    assert sr.mul(sr.mul(p, q), r) == sr.mul(p, sr.mul(q, r))
+    assert sr.mul(p, q) == sr.mul(q, p)  # N[X] is commutative
+    assert sr.mul(p, sr.add(q, r)) == sr.add(sr.mul(p, q), sr.mul(p, r))
+    assert sr.mul(p, sr.zero) == sr.zero
+    assert sr.mul(p, sr.one) == p

@@ -1,0 +1,59 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from hypothesis import strategies as st
+
+from repro.semirings import BOOL, FLOAT, INT, MAX_PLUS, MIN_PLUS, NAT, PROVENANCE
+from repro.semirings.provenance import Polynomial
+
+#: semirings whose elements hypothesis can generate exactly
+EXACT_SEMIRINGS = {
+    "bool": (BOOL, st.booleans()),
+    "nat": (NAT, st.integers(min_value=0, max_value=20)),
+    "int": (INT, st.integers(min_value=-50, max_value=50)),
+    "min_plus": (MIN_PLUS, st.integers(min_value=-20, max_value=20).map(float)),
+    "max_plus": (MAX_PLUS, st.integers(min_value=-20, max_value=20).map(float)),
+}
+
+
+@st.composite
+def semiring_and_elements(draw, n: int = 3):
+    """A semiring plus ``n`` elements of it."""
+    name = draw(st.sampled_from(sorted(EXACT_SEMIRINGS)))
+    semiring, elements = EXACT_SEMIRINGS[name]
+    return semiring, [draw(elements) for _ in range(n)]
+
+
+@st.composite
+def provenance_polynomials(draw) -> Polynomial:
+    n_terms = draw(st.integers(min_value=0, max_value=3))
+    poly = Polynomial()
+    for _ in range(n_terms):
+        term = Polynomial.constant(draw(st.integers(min_value=1, max_value=3)))
+        for var in draw(st.lists(st.sampled_from("xyz"), max_size=2)):
+            term = term * Polynomial.variable(var)
+        poly = poly + term
+    return poly
+
+
+@st.composite
+def sparse_data(draw, attrs: Tuple[str, ...], max_index: int = 8,
+                semiring=INT, max_entries: int = 10) -> Dict[Tuple[int, ...], Any]:
+    """A finitely supported function: coordinate tuples → nonzero values."""
+    _, elements = EXACT_SEMIRINGS["int"] if semiring is INT else ("", None)
+    if semiring is INT:
+        values = st.integers(min_value=-9, max_value=9).filter(lambda v: v != 0)
+    elif semiring is NAT:
+        values = st.integers(min_value=1, max_value=9)
+    elif semiring is BOOL:
+        values = st.just(True)
+    else:
+        values = st.integers(min_value=-9, max_value=9).map(float).filter(
+            lambda v: not semiring.is_zero(v)
+        )
+    keys = st.tuples(*(st.integers(min_value=0, max_value=max_index - 1)
+                       for _ in attrs))
+    return draw(st.dictionaries(keys, values, max_size=max_entries))

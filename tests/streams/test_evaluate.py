@@ -1,0 +1,68 @@
+"""Stream evaluation ⟦–⟧ (Definition 5.11) and conversions."""
+
+import pytest
+
+from repro.krelation import KRelation, Schema
+from repro.semirings import FLOAT, INT
+from repro.streams import evaluate, from_dict, from_krelation, stream_to_krelation
+from repro.streams.evaluate import flatten, merge_values
+
+
+def test_evaluate_scalar_leaf():
+    assert evaluate(7) == 7
+
+
+def test_merge_values_scalars():
+    assert merge_values(INT, 2, 3) == 5
+
+
+def test_merge_values_nested():
+    a = {0: {1: 2}}
+    b = {0: {1: 3, 2: 4}, 5: {0: 1}}
+    assert merge_values(INT, a, b) == {0: {1: 5, 2: 4}, 5: {0: 1}}
+
+
+def test_merge_values_type_mismatch():
+    with pytest.raises(TypeError):
+        merge_values(INT, {0: 1}, 3)
+
+
+def test_flatten():
+    nested = {0: {1: 2, 2: 3}, 4: {0: 1}}
+    assert flatten(nested, 2) == {(0, 1): 2, (0, 2): 3, (4, 0): 1}
+    assert flatten(7, 0) == {(): 7}
+
+
+def test_prunes_zero_leaves():
+    s = from_dict(("a",), {(0,): 5}, INT)
+    neg = from_dict(("a",), {(0,): -5}, INT)
+    from repro.streams import add
+
+    assert evaluate(add(s, neg, INT)) == {}
+
+
+def test_stream_to_krelation_roundtrip():
+    schema = Schema.of(a=range(5), b=range(5))
+    rel = KRelation(schema, INT, ("a", "b"), {(0, 1): 2, (3, 4): 7})
+    back = stream_to_krelation(from_krelation(rel), schema)
+    assert back.equal(rel)
+
+
+def test_stream_to_krelation_scalar():
+    schema = Schema.of(a=range(5))
+    rel = KRelation(schema, INT, ("a",), {(0,): 2, (3,): 7})
+    from repro.streams import contract
+
+    out = stream_to_krelation(contract(from_krelation(rel)), schema)
+    assert out.shape == ()
+    assert out.total() == 9
+
+
+def test_from_krelation_with_custom_order():
+    schema = Schema.of(a=range(3), b=range(3))
+    rel = KRelation(schema, INT, ("a", "b"), {(0, 1): 5, (2, 0): 1})
+    s = from_krelation(rel, order=("b", "a"))
+    assert s.shape == ("b", "a")
+    assert evaluate(s) == {0: {2: 1}, 1: {0: 5}}
+    with pytest.raises(ValueError):
+        from_krelation(rel, order=("a", "c"))

@@ -1,0 +1,48 @@
+"""Materialization (temporaries) preserves evaluation."""
+
+import pytest
+
+from repro.semirings import INT
+from repro.streams import (
+    contract,
+    evaluate,
+    from_dict,
+    materialize,
+    mul,
+)
+
+
+def test_materialize_scalar_passthrough():
+    assert materialize(5) == 5
+
+
+def test_materialize_contracted_stream_gives_scalar():
+    s = contract(from_dict(("a",), {(0,): 2, (5,): 3}, INT))
+    assert materialize(s) == 5
+
+
+def test_materialize_preserves_value():
+    s = from_dict(("a", "b"), {(0, 1): 2, (3, 2): 7}, INT)
+    m = materialize(s)
+    assert evaluate(m) == evaluate(s)
+    assert m.shape == s.shape
+
+
+def test_materialize_transposes():
+    s = from_dict(("a", "b"), {(0, 1): 2, (3, 2): 7}, INT)
+    t = materialize(s, order=("b", "a"))
+    assert t.shape == ("b", "a")
+    assert evaluate(t) == {1: {0: 2}, 2: {3: 7}}
+
+
+def test_materialize_bad_order():
+    s = from_dict(("a", "b"), {(0, 1): 2}, INT)
+    with pytest.raises(ValueError):
+        materialize(s, order=("a", "c"))
+
+
+def test_materialize_composite_stream():
+    x = from_dict(("a", "b"), {(0, 1): 2, (1, 0): 3}, INT)
+    y = from_dict(("a", "b"), {(0, 1): 10, (1, 0): 1}, INT)
+    fused = mul(x, y, INT)
+    assert evaluate(materialize(fused)) == evaluate(fused)

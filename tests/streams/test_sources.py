@@ -1,0 +1,145 @@
+"""Primitive indexed streams (Example 5.2)."""
+
+import pytest
+
+from repro.semirings import FLOAT, INT
+from repro.streams import (
+    DenseStream,
+    EmptyStream,
+    FunctionStream,
+    SingletonStream,
+    SparseStream,
+    evaluate,
+    expand_stream,
+    from_dict,
+    from_pairs,
+    reachable_states,
+)
+
+
+def test_sparse_stream_eval():
+    s = SparseStream("i", [1, 4, 7], [10, 20, 30], INT)
+    assert evaluate(s) == {1: 10, 4: 20, 7: 30}
+    assert s.shape == ("i",)
+
+
+def test_sparse_requires_sorted_indices():
+    with pytest.raises(ValueError):
+        SparseStream("i", [4, 1], [1, 2], INT)
+    with pytest.raises(ValueError):
+        SparseStream("i", [1, 1], [1, 2], INT)
+    with pytest.raises(ValueError):
+        SparseStream("i", [1, 2], [1], INT)
+
+
+@pytest.mark.parametrize("search", ["linear", "binary"])
+def test_sparse_skip_semantics(search):
+    """skip(q, i, r) lands on the least state with index >= i (> i if r)."""
+    s = SparseStream("i", [1, 4, 7, 9], [1, 1, 1, 1], INT, search=search)
+    assert s.skip(0, 4, False) == 1
+    assert s.skip(0, 4, True) == 2
+    assert s.skip(0, 5, False) == 2
+    assert s.skip(0, 0, False) == 0
+    assert s.skip(0, 100, False) == 4   # past the end
+    assert s.skip(2, 1, False) == 2     # never goes backwards
+    assert s.skip(4, 1, True) == 4      # terminal state is absorbing
+
+
+def test_sparse_invalid_search():
+    with pytest.raises(ValueError):
+        SparseStream("i", [1], [1], INT, search="magic")
+
+
+def test_dense_stream():
+    s = DenseStream("i", [0, 1, 2], [5, 6, 7], INT)
+    assert evaluate(s) == {0: 5, 1: 6, 2: 7}
+    assert s.skip(0, 2, False) == 2
+    assert s.skip(0, 2, True) == 3
+    with pytest.raises(ValueError):
+        DenseStream("i", [1, 0], [1, 2], INT)
+
+
+def test_dense_with_noninteger_domain():
+    s = DenseStream("i", [3, 10, 20], ["a", "b", "c"], INT)
+    assert evaluate(s) == {3: "a", 10: "b", 20: "c"}
+    assert s.skip(0, 10, False) == 1
+    assert s.skip(0, 11, False) == 2
+
+
+def test_function_stream_finite():
+    s = FunctionStream("i", lambda i: i * i, INT, domain=[0, 2, 5])
+    # 0² = 0 is a semiring zero and is pruned from the evaluation
+    assert evaluate(s) == {2: 4, 5: 25}
+
+
+def test_function_stream_infinite_skip():
+    s = FunctionStream("i", lambda i: i + 100, INT)
+    q = s.q0
+    assert s.valid(q) and s.ready(q)
+    q = s.skip(q, 7, False)
+    assert s.index(q) == 7 and s.value(q) == 107
+    q = s.skip(q, 7, True)
+    assert s.index(q) == 8
+    q = s.skip(q, 3, True)   # monotone: never goes backwards
+    assert s.index(q) == 8
+
+
+def test_expand_stream_is_constant():
+    s = expand_stream("i", 42, INT, domain=[0, 1, 2])
+    assert evaluate(s) == {0: 42, 1: 42, 2: 42}
+
+
+def test_singleton_stream():
+    s = SingletonStream("i", 5, 99, INT)
+    assert evaluate(s) == {5: 99}
+    assert s.skip(0, 5, False) == 0
+    assert s.skip(0, 5, True) == 1
+    assert s.skip(0, 6, False) == 1
+
+
+def test_empty_stream():
+    s = EmptyStream("i", INT)
+    assert evaluate(s) == {}
+    assert not s.valid(s.q0)
+    assert reachable_states(s) == []
+    with pytest.raises(RuntimeError):
+        s.index(s.q0)
+
+
+def test_from_pairs_sorts():
+    s = from_pairs("i", [(5, 50), (1, 10)], INT)
+    assert evaluate(s) == {1: 10, 5: 50}
+    s2 = from_pairs("i", {7: 70, 2: 20}, INT)
+    assert evaluate(s2) == {2: 20, 7: 70}
+
+
+def test_from_dict_nested():
+    data = {(0, 1): 2, (0, 2): 3, (2, 0): 4}
+    s = from_dict(("a", "b"), data, INT)
+    assert s.shape == ("a", "b")
+    assert evaluate(s) == {0: {1: 2, 2: 3}, 2: {0: 4}}
+
+
+def test_from_dict_drops_zeros():
+    s = from_dict(("a",), {(0,): 0, (1,): 5}, INT)
+    assert evaluate(s) == {1: 5}
+
+
+def test_from_dict_scalar_case():
+    assert from_dict((), {(): 7}, INT) == 7
+
+
+def test_from_dict_arity_check():
+    with pytest.raises(ValueError):
+        from_dict(("a", "b"), {(0,): 1}, INT)
+
+
+def test_reachable_states_terminates():
+    s = SparseStream("i", [1, 2, 3], [1, 1, 1], INT)
+    assert len(reachable_states(s)) == 3
+
+
+def test_nonterminating_guard():
+    s = FunctionStream("i", lambda i: 1, INT)  # infinite
+    with pytest.raises(RuntimeError):
+        evaluate(s, max_steps=100)

@@ -1,0 +1,148 @@
+"""The einsum frontend (Figure 5's tensor-algebra translation)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Tensor
+from repro.krelation import ShapeError
+from repro.semirings import FLOAT, INT
+from repro.tensor import einsum, repack, tensor_add
+from repro.tensor.einsum import einsum_expr, parse_spec
+from repro.workloads import dense_matrix, dense_vector, sparse_matrix, sparse_tensor3, sparse_vector
+
+N = 20
+
+
+def to_dense(t, dims):
+    out = np.zeros(dims)
+    for key, v in t.to_dict().items():
+        out[key] = v
+    return out
+
+
+def test_parse_spec():
+    ops, out = parse_spec("ij,jk->ik")
+    assert ops == (("i", "j"), ("j", "k"))
+    assert out == ("i", "k")
+    assert parse_spec("i,i->") == ((("i",), ("i",)), ())
+    with pytest.raises(ValueError):
+        parse_spec("ij->ij->k")
+    with pytest.raises(ValueError):
+        parse_spec("")
+    with pytest.raises(ValueError):
+        parse_spec("ij,jk->iq")  # q not among inputs
+
+
+def test_einsum_expr_contracts_non_output():
+    expr, operands, output = einsum_expr("ij,jk->ik")
+    assert "Σ_j" in repr(expr)
+    assert "t0" in repr(expr) and "t1" in repr(expr)
+
+
+def test_matmul_against_numpy():
+    A = sparse_matrix(N, N, 0.2, attrs=("i", "j"), seed=1)
+    B = sparse_matrix(N, N, 0.2, attrs=("j", "k"), seed=2)
+    C = einsum("ij,jk->ik", A, B, output_formats=("dense", "sparse"),
+               capacity=N * N)
+    got = to_dense(C, (N, N))
+    want = to_dense(A, (N, N)) @ to_dense(B, (N, N))
+    assert np.allclose(got, want)
+
+
+def test_spmv_against_numpy():
+    A = sparse_matrix(N, N, 0.3, attrs=("i", "j"), seed=3)
+    x = dense_vector(N, attr="j", seed=4)
+    y = einsum("ij,j->i", A, x)
+    assert np.allclose(to_dense(y, (N,)),
+                       to_dense(A, (N, N)) @ to_dense(x, (N,)))
+
+
+def test_inner_product_scalar():
+    A = sparse_matrix(N, N, 0.3, attrs=("i", "j"), seed=5)
+    B = sparse_matrix(N, N, 0.3, attrs=("i", "j"), seed=6)
+    got = einsum("ij,ij->", A, B)
+    want = float((to_dense(A, (N, N)) * to_dense(B, (N, N))).sum())
+    assert got == pytest.approx(want)
+
+
+def test_mttkrp_against_numpy():
+    n = 10
+    B = sparse_tensor3((n, n, n), 0.05, attrs=("i", "k", "l"), seed=7)
+    C = dense_matrix(n, n, attrs=("k", "j"), seed=8)
+    D = dense_matrix(n, n, attrs=("l", "j"), seed=9)
+    A = einsum("ikl,kj,lj->ij", B, C, D)
+    Bd = to_dense(B, (n, n, n))
+    want = np.einsum("ikl,kj,lj->ij", Bd, to_dense(C, (n, n)), to_dense(D, (n, n)))
+    assert np.allclose(to_dense(A, (n, n)), want)
+
+
+def test_custom_order_changes_loops_not_result():
+    A = sparse_matrix(N, N, 0.2, attrs=("i", "k"),
+                      formats=("sparse", "sparse"), seed=10)
+    B = repack(sparse_matrix(N, N, 0.2, attrs=("k", "j"), seed=11), ("j", "k"),
+               ("sparse", "sparse"))
+    got = einsum("ik,jk->ij", A, B, order=("i", "j", "k"),
+                 output_formats=("dense", "dense"))
+    want = to_dense(A, (N, N)) @ to_dense(B, (N, N)).T
+    assert np.allclose(to_dense(got, (N, N)), want)
+
+
+def test_operand_count_mismatch():
+    A = sparse_matrix(N, N, 0.2, seed=12)
+    with pytest.raises(ValueError):
+        einsum("ij,jk->ik", A)
+
+
+def test_rank_mismatch():
+    A = sparse_matrix(N, N, 0.2, seed=13)
+    with pytest.raises(ShapeError):
+        einsum("ijk,jk->i", A, A)
+
+
+def test_dim_mismatch():
+    A = sparse_matrix(N, N, 0.2, attrs=("i", "j"), seed=14)
+    B = sparse_matrix(N + 1, N, 0.2, attrs=("j", "k"), seed=15)
+    with pytest.raises(ShapeError):
+        einsum("ij,jk->ik", A, B)
+
+
+def test_level_order_violation_reported():
+    A = sparse_matrix(N, N, 0.2, attrs=("i", "j"), seed=16)
+    with pytest.raises(ShapeError):
+        # order puts j before i but the tensor is stored (i, j)
+        einsum("ij->j", A, order=("j", "i"))
+
+
+def test_semiring_mismatch_inference():
+    A = sparse_matrix(N, N, 0.2, seed=17, semiring=INT)
+    B = sparse_matrix(N, N, 0.2, attrs=("j", "k"), seed=18, semiring=INT)
+    C = einsum("ij,jk->ik", A, B, output_formats=("dense", "dense"))
+    assert C.semiring is INT or C.semiring.name == "int"
+
+
+def test_tensor_add_merges():
+    x = sparse_vector(N, 0.3, seed=19)
+    y = sparse_vector(N, 0.3, seed=20)
+    s = tensor_add(x, y, capacity=2 * N)
+    want = {}
+    for d in (x.to_dict(), y.to_dict()):
+        for key, v in d.items():
+            want[key] = want.get(key, 0.0) + v
+    assert s.to_dict() == pytest.approx(want)
+
+
+def test_tensor_add_shape_mismatch():
+    x = sparse_vector(N, 0.3, seed=21)
+    y = sparse_vector(N + 1, 0.3, seed=22)
+    with pytest.raises(ShapeError):
+        tensor_add(x, y)
+
+
+def test_repack_permutes_and_reformats():
+    A = sparse_matrix(N, N, 0.2, attrs=("i", "j"), seed=23)
+    T = repack(A, ("j", "i"), ("sparse", "sparse"))
+    assert T.attrs == ("j", "i")
+    assert T.formats == ("sparse", "sparse")
+    assert T.to_dict() == {(j, i): v for (i, j), v in A.to_dict().items()}
+    with pytest.raises(ValueError):
+        repack(A, ("i", "k"))

@@ -1,0 +1,80 @@
+"""TPC-H data generator: schema shape, key integrity, distributions."""
+
+import pytest
+
+from repro.tpch import generate
+from repro.tpch.datagen import NATIONS, REGIONS
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(0.005, seed=7)
+
+
+def test_row_counts_scale(data):
+    assert len(data.region) == 5
+    assert len(data.nation) == 25
+    assert len(data.supplier) == 50
+    assert len(data.customer) == 750
+    assert len(data.part) == 1000
+    assert len(data.partsupp) == 4000
+    assert len(data.orders) == 7500
+    # lineitem ~ 4 per order
+    assert 1 * len(data.orders) <= len(data.lineitem) <= 7 * len(data.orders)
+
+
+def test_reference_integrity(data):
+    nations = set(range(25))
+    assert {r[1] for r in data.supplier.rows} <= nations
+    assert {r[1] for r in data.customer.rows} <= nations
+    assert {r[2] for r in data.nation.rows} <= set(range(5))
+    custkeys = {r[0] for r in data.customer.rows}
+    assert {r[1] for r in data.orders.rows} <= custkeys
+    orderkeys = {r[0] for r in data.orders.rows}
+    assert {r[0] for r in data.lineitem.rows} <= orderkeys
+
+
+def test_lineitem_part_supp_pairs_come_from_partsupp(data):
+    ps_pairs = {(r[0], r[1]) for r in data.partsupp.rows}
+    li_pairs = {(r[2], r[3]) for r in data.lineitem.rows}
+    assert li_pairs <= ps_pairs
+
+
+def test_dates_are_valid_yyyymmdd(data):
+    for _, _, d in data.orders.rows:
+        year, month, day = d // 10000, (d // 100) % 100, d % 100
+        assert 1992 <= year <= 1998
+        assert 1 <= month <= 12
+        assert 1 <= day <= 28
+
+
+def test_green_part_fraction(data):
+    frac = sum("green" in r[1] for r in data.part.rows) / len(data.part)
+    # TPC-H picks 5 of 92 color words: expect ~5.4%
+    assert 0.01 < frac < 0.15
+
+
+def test_discounts_and_quantities(data):
+    for row in data.lineitem.rows[:500]:
+        assert 1 <= row[4] <= 50
+        assert 0.0 <= row[6] <= 0.10
+
+
+def test_deterministic_by_seed():
+    a = generate(0.002, seed=3)
+    b = generate(0.002, seed=3)
+    assert a.lineitem.rows == b.lineitem.rows
+    c = generate(0.002, seed=4)
+    assert a.lineitem.rows != c.lineitem.rows
+
+
+def test_tables_property(data):
+    assert set(data.tables) == {
+        "region", "nation", "supplier", "customer",
+        "part", "partsupp", "orders", "lineitem",
+    }
+
+
+def test_constants():
+    assert len(REGIONS) == 5
+    assert len(NATIONS) == 25

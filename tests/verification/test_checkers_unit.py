@@ -1,0 +1,140 @@
+"""The checkers themselves: they accept lawful streams and reject
+deliberately broken ones."""
+
+from typing import Any
+
+from repro.semirings import INT
+from repro.streams import SparseStream, from_dict, from_pairs
+from repro.streams.base import Stream
+from repro.verification import (
+    check_lawful,
+    check_monotone,
+    check_strictly_monotone,
+)
+
+
+class BrokenSkipStream(Stream):
+    """A sparse stream whose skip jumps one element too far: monotone,
+    but unlawful (it discards values at indices >= the target)."""
+
+    def __init__(self) -> None:
+        super().__init__("i", ("i",), INT)
+        self.inds = [1, 4, 7]
+        self.vals = [10, 20, 30]
+
+    @property
+    def q0(self):
+        return 0
+
+    def valid(self, q):
+        return q < 3
+
+    def ready(self, q):
+        return q < 3
+
+    def index(self, q):
+        return self.inds[q]
+
+    def value(self, q):
+        return self.vals[q]
+
+    def skip(self, q, i, r):
+        while q < 3 and (self.inds[q] < i or (r and self.inds[q] == i)):
+            q += 1
+        # bug: overshoot by one
+        return min(q + 1, 3) if q < 3 else q
+
+
+class NonMonotoneStream(Stream):
+    """skip can move backwards."""
+
+    def __init__(self) -> None:
+        super().__init__("i", ("i",), INT)
+
+    @property
+    def q0(self):
+        return 0
+
+    def valid(self, q):
+        return q < 3
+
+    def ready(self, q):
+        return q < 3
+
+    def index(self, q):
+        return [5, 2, 8][q]  # not monotone along the trajectory either
+
+    def value(self, q):
+        return 1
+
+    def skip(self, q, i, r):
+        return q + 1 if r else q
+
+
+class RepeatingIndexStream(Stream):
+    """Monotone but not strictly monotone: emits index 3 twice."""
+
+    def __init__(self) -> None:
+        super().__init__("i", ("i",), INT)
+
+    @property
+    def q0(self):
+        return 0
+
+    def valid(self, q):
+        return q < 2
+
+    def ready(self, q):
+        return q < 2
+
+    def index(self, q):
+        return 3
+
+    def value(self, q):
+        return 1
+
+    def skip(self, q, i, r):
+        if not self.valid(q):
+            return q
+        if 3 < i or (r and 3 == i and q == 1):
+            return 2
+        if r and 3 == i:
+            return q + 1
+        return q
+
+
+def test_sparse_sources_pass_all_checks():
+    for search in ("linear", "binary"):
+        s = SparseStream("i", [1, 4, 7], [10, 20, 30], INT, search=search)
+        assert check_monotone(s)
+        assert check_strictly_monotone(s)
+        assert check_lawful(s)
+
+
+def test_nested_sources_pass():
+    s = from_dict(("a", "b"), {(0, 1): 2, (0, 3): 1, (2, 0): 4}, INT)
+    assert check_monotone(s)
+    assert check_strictly_monotone(s)
+    assert check_lawful(s)
+
+
+def test_broken_skip_detected_as_unlawful():
+    s = BrokenSkipStream()
+    assert not check_lawful(s)
+
+
+def test_non_monotone_detected():
+    assert not check_monotone(NonMonotoneStream())
+    assert not check_strictly_monotone(NonMonotoneStream())
+
+
+def test_repeating_index_is_monotone_but_not_strict():
+    s = RepeatingIndexStream()
+    assert check_monotone(s)
+    assert not check_strictly_monotone(s)
+
+
+def test_scalars_trivially_pass():
+    assert check_monotone(5)
+    assert check_strictly_monotone(5)
+    assert check_lawful(5)

@@ -1,0 +1,158 @@
+"""Theorem 6.1, property-tested: ⟦–⟧ : 𝒮 → 𝒯 is a homomorphism, and
+the combinators preserve lawfulness and (strict) monotonicity.
+
+This is the executable counterpart of the paper's Lean development: the
+same statements, checked on thousands of generated streams instead of
+proved once and for all.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import BOOL, INT, MIN_PLUS
+from repro.streams import (
+    add,
+    contract,
+    evaluate,
+    from_dict,
+    from_pairs,
+    mul,
+)
+from repro.verification import (
+    check_homomorphism_add,
+    check_homomorphism_contract,
+    check_homomorphism_mul,
+    check_lawful,
+    check_monotone,
+    check_strictly_monotone,
+)
+from tests.strategies import sparse_data
+
+VALUES = st.integers(min_value=-9, max_value=9).filter(bool)
+VEC = st.dictionaries(st.integers(min_value=0, max_value=12), VALUES, max_size=8)
+
+
+def vec(d, sr=INT):
+    return from_pairs("i", d, sr)
+
+
+def mat(d, sr=INT):
+    return from_dict(("a", "b"), d, sr)
+
+
+# ----------------------------------------------------------------------
+# homomorphism laws (Theorem 6.1)
+# ----------------------------------------------------------------------
+@given(VEC, VEC)
+def test_mul_homomorphism_vectors(d1, d2):
+    assert check_homomorphism_mul(vec(d1), vec(d2))
+
+
+@given(VEC, VEC)
+def test_add_homomorphism_vectors(d1, d2):
+    assert check_homomorphism_add(vec(d1), vec(d2))
+
+
+@given(VEC)
+def test_contract_homomorphism_vectors(d):
+    assert check_homomorphism_contract(vec(d))
+
+
+@given(sparse_data(("a", "b")), sparse_data(("a", "b")))
+def test_mul_homomorphism_matrices(d1, d2):
+    assert check_homomorphism_mul(mat(d1), mat(d2))
+
+
+@given(sparse_data(("a", "b")), sparse_data(("a", "b")))
+def test_add_homomorphism_matrices(d1, d2):
+    assert check_homomorphism_add(mat(d1), mat(d2))
+
+
+@given(sparse_data(("a", "b")))
+def test_contract_homomorphism_matrices(d):
+    assert check_homomorphism_contract(mat(d))
+
+
+@given(sparse_data(("a", "b"), max_entries=6), sparse_data(("a", "b"), max_entries=6))
+def test_homomorphism_composes(d1, d2):
+    """⟦Σ (x·y)⟧ computed on streams equals the pointwise computation —
+    a composed instance like Figure 10's examples."""
+    x, y = mat(d1), mat(d2)
+    fused = evaluate(contract(mul(x, y, INT)))
+    expected = {}
+    for key in set(d1) & set(d2):
+        a, b = key
+        expected[b] = expected.get(b, 0) + d1[key] * d2[key]
+    expected = {k: v for k, v in expected.items() if v}
+    assert fused == expected
+
+
+@given(VEC, VEC)
+def test_mul_commutes_with_evaluation_min_plus(d1, d2):
+    """The theorem is semiring-generic; spot-check a non-numeric one."""
+    x = vec({k: float(v) for k, v in d1.items()}, MIN_PLUS)
+    y = vec({k: float(v) for k, v in d2.items()}, MIN_PLUS)
+    assert check_homomorphism_mul(x, y)
+
+
+# ----------------------------------------------------------------------
+# closure of the well-formedness conditions (Sections 6.1–6.2)
+# ----------------------------------------------------------------------
+@given(VEC, VEC)
+@settings(deadline=None, max_examples=25)
+def test_mul_preserves_strict_monotonicity(d1, d2):
+    s = mul(vec(d1), vec(d2), INT)
+    assert check_monotone(s)
+    assert check_strictly_monotone(s)
+
+
+@given(VEC, VEC)
+@settings(deadline=None, max_examples=25)
+def test_add_preserves_strict_monotonicity(d1, d2):
+    s = add(vec(d1), vec(d2), INT)
+    assert check_monotone(s)
+    assert check_strictly_monotone(s)
+
+
+@given(VEC, VEC)
+@settings(deadline=None, max_examples=15)
+def test_mul_is_lawful(d1, d2):
+    assert check_lawful(mul(vec(d1), vec(d2), INT))
+
+
+@given(VEC, VEC)
+@settings(deadline=None, max_examples=15)
+def test_add_is_lawful(d1, d2):
+    assert check_lawful(add(vec(d1), vec(d2), INT))
+
+
+@given(VEC)
+@settings(deadline=None, max_examples=25)
+def test_sources_are_lawful(d):
+    assert check_lawful(vec(d))
+
+
+@given(sparse_data(("a", "b"), max_entries=6))
+@settings(deadline=None, max_examples=15)
+def test_nested_streams_strictly_monotone(d):
+    assert check_strictly_monotone(mat(d))
+
+
+@given(VEC, VEC, VEC)
+@settings(deadline=None, max_examples=20)
+def test_three_way_product_equals_pairwise(d1, d2, d3):
+    """x·y·z (fused, Figure 2) = (x·y)·z = x·(y·z)."""
+    x, y, z = vec(d1), vec(d2), vec(d3)
+    left = evaluate(mul(mul(x, y, INT), z, INT))
+    right = evaluate(mul(x, mul(y, z, INT), INT))
+    assert left == right
+
+
+@given(VEC, VEC, VEC)
+@settings(deadline=None, max_examples=20)
+def test_distributivity_of_streams(d1, d2, d3):
+    """⟦x·(y+z)⟧ = ⟦x·y + x·z⟧."""
+    x, y, z = vec(d1), vec(d2), vec(d3)
+    lhs = evaluate(mul(x, add(y, z, INT), INT))
+    rhs = evaluate(add(mul(x, y, INT), mul(x, z, INT), INT))
+    assert lhs == rhs
