@@ -1,0 +1,32 @@
+"""CI smoke test: build one SpMV kernel and report cache counters.
+
+Run twice in separate processes with ``REPRO_KERNEL_CACHE_DIR`` shared:
+the first (``CACHE_STAGE=cold``) must miss, the second
+(``CACHE_STAGE=warm``) must be served entirely from the disk tier.
+"""
+
+import os
+
+from repro.compiler.cache import kernel_cache
+from repro.compiler.kernel import OutputSpec, compile_kernel
+from repro.krelation import Schema
+from repro.lang import Sum, TypeContext, Var
+from repro.workloads import dense_vector, sparse_matrix
+
+n = 64
+A = sparse_matrix(n, n, 0.1, attrs=("i", "j"), seed=1)
+x = dense_vector(n, attr="j", seed=2)
+ctx = TypeContext(Schema.of(i=None, j=None), {"A": {"i", "j"}, "x": {"j"}})
+kernel = compile_kernel(
+    Sum("j", Var("A") * Var("x")), ctx, {"A": A, "x": x},
+    OutputSpec(("i",), ("dense",), (n,)), backend="python",
+)
+result = kernel.run({"A": A, "x": x})
+
+stage = os.environ.get("CACHE_STAGE", "cold")
+if stage == "warm":
+    assert kernel_cache.stats.disk_hits == 1, kernel_cache.stats
+    assert kernel_cache.stats.misses == 0, kernel_cache.stats
+else:
+    assert kernel_cache.stats.misses == 1, kernel_cache.stats
+print(f"{stage}: {kernel_cache.stats}")

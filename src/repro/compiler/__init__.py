@@ -38,7 +38,22 @@ from repro.compiler.ir import (
     TFLOAT,
     TINT,
 )
+from repro.compiler.cache import (
+    CacheStats,
+    KernelCache,
+    kernel_cache,
+    kernel_cache_key,
+)
 from repro.compiler.kernel import KernelBuilder, compile_kernel
+from repro.compiler.opt import (
+    DEFAULT_OPT_LEVEL,
+    eliminate_common_subexprs,
+    eliminate_dead_stores,
+    hoist_loop_invariants,
+    optimize,
+    propagate_copies,
+    simplify,
+)
 from repro.compiler.scalars import ScalarOps, scalar_ops_for
 
 __all__ = [
@@ -67,4 +82,15 @@ __all__ = [
     "scalar_ops_for",
     "KernelBuilder",
     "compile_kernel",
+    "optimize",
+    "simplify",
+    "propagate_copies",
+    "eliminate_dead_stores",
+    "eliminate_common_subexprs",
+    "hoist_loop_invariants",
+    "DEFAULT_OPT_LEVEL",
+    "kernel_cache",
+    "kernel_cache_key",
+    "KernelCache",
+    "CacheStats",
 ]

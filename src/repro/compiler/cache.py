@@ -1,0 +1,216 @@
+"""Two-tier kernel build cache.
+
+Tier 1 is an in-memory memo from a canonical build key to the finished
+:class:`~repro.compiler.kernel.Kernel`, so loops that rebuild an
+identical kernel (benchmark harnesses, repeated ``compile_kernel``
+calls) get the compiled artifact back without re-running
+lower → compile → optimize → codegen.
+
+Tier 2 generalizes the shared-object cache in ``codegen_c._build`` to
+every source-emitting backend: the emitted source plus the metadata
+needed to reconstruct a kernel object (params, declarations, workspace
+dim) is written to a JSON file keyed by the same canonical key.  A
+fresh process can then skip lowering and optimization entirely and go
+straight to backend construction — which for the C backend also hits
+the existing source-hash ``.so`` cache, so no compiler is invoked.
+
+The canonical key hashes: a cache format version, the contraction
+expression (structural repr), the signature of every input spec, the
+output spec signature, the semiring and value type, backend, search
+strategy, locate flag, opt level, and vectorize flag.  User-defined
+``Op``s are identified *by name* in the key; two different ops sharing
+a name and type signature would collide, so kernels whose IR contains
+``ECall``s are never written to the disk tier (their Python callables
+cannot be serialized anyway) and are memoized in memory only.
+
+Environment variables:
+
+* ``REPRO_KERNEL_CACHE_DIR`` — directory for the disk tier (default
+  ``$TMPDIR/repro_kernels``, shared with the ``.so`` cache);
+* ``REPRO_KERNEL_CACHE=0`` (or ``off``/``no``/``false``) — disable the
+  disk tier (the in-memory memo is controlled per-builder with
+  ``KernelBuilder(cache=False)``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+CACHE_VERSION = 1
+
+ENV_CACHE_DIR = "REPRO_KERNEL_CACHE_DIR"
+ENV_CACHE = "REPRO_KERNEL_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The disk-tier directory (also used for cached ``.so`` files)."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path(tempfile.gettempdir()) / "repro_kernels"
+
+
+def disk_cache_enabled() -> bool:
+    return os.environ.get(ENV_CACHE, "1").lower() not in ("0", "off", "no", "false")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed for tests and benchmark harnesses."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def reset(self) -> None:
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+
+class KernelCache:
+    """The process-wide kernel cache (both tiers). Thread-safe."""
+
+    def __init__(self, cache_dir: Optional[Path] = None) -> None:
+        self._lock = threading.Lock()
+        self._memo: Dict[str, Any] = {}
+        self._cache_dir = cache_dir
+        self.stats = CacheStats()
+
+    # -- tier 1: in-memory -------------------------------------------------
+    def lookup(self, key: str) -> Any:
+        with self._lock:
+            kernel = self._memo.get(key)
+            if kernel is not None:
+                self.stats.memory_hits += 1
+            return kernel
+
+    def store(self, key: str, kernel: Any) -> None:
+        with self._lock:
+            self._memo[key] = kernel
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.stats.misses += 1
+
+    # -- tier 2: on-disk source/metadata ----------------------------------
+    def cache_dir(self) -> Path:
+        return self._cache_dir if self._cache_dir is not None else default_cache_dir()
+
+    def _payload_path(self, key: str) -> Path:
+        return self.cache_dir() / f"kmeta_{key[:24]}.json"
+
+    def load_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored build payload for ``key``, or None."""
+        if not disk_cache_enabled():
+            return None
+        path = self._payload_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
+            return None
+        with self._lock:
+            self.stats.disk_hits += 1
+        return payload
+
+    def store_payload(self, key: str, payload: Dict[str, Any]) -> None:
+        if not disk_cache_enabled():
+            return
+        payload = dict(payload, version=CACHE_VERSION, key=key)
+        path = self._payload_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)  # atomic on POSIX
+        except OSError:
+            pass  # the disk tier is best-effort
+
+    def clear(self, disk: bool = False) -> None:
+        with self._lock:
+            self._memo.clear()
+            self.stats.reset()
+        if disk:
+            try:
+                for f in self.cache_dir().glob("kmeta_*.json"):
+                    f.unlink()
+            except OSError:
+                pass
+
+
+#: the default process-wide cache used by :class:`KernelBuilder`
+kernel_cache = KernelCache()
+
+
+# ----------------------------------------------------------------------
+# canonical build key
+# ----------------------------------------------------------------------
+def _spec_signature(spec: Any) -> tuple:
+    """A canonical, hashable signature of an input spec."""
+    # FunctionInput (check first: it has no `formats`)
+    if hasattr(spec, "op"):
+        return (
+            "function",
+            spec.name,
+            tuple(spec.attrs),
+            spec.op.name,
+            tuple(spec.op.arg_types),
+            spec.op.ret_type,
+            tuple(spec.dims),
+        )
+    # TensorInput
+    if hasattr(spec, "ops"):
+        return (
+            "tensor",
+            spec.name,
+            tuple(spec.attrs),
+            tuple(spec.formats),
+            spec.ops.semiring.name,
+            spec.ops.type,
+        )
+    return ("opaque", repr(spec))
+
+
+def kernel_cache_key(
+    expr: Any,
+    specs: Dict[str, Any],
+    output: Any,
+    *,
+    semiring: Any,
+    backend: str,
+    search: str,
+    locate: bool,
+    opt_level: int,
+    vectorize: bool,
+    name: str,
+    attr_dims: Optional[Dict[str, int]] = None,
+) -> str:
+    """sha256 of the canonical description of one kernel build."""
+    parts = (
+        CACHE_VERSION,
+        repr(expr),
+        tuple(_spec_signature(specs[k]) for k in sorted(specs)),
+        repr(output),  # OutputSpec is a frozen dataclass (or None): repr is canonical
+        semiring.name,
+        backend,
+        search,
+        bool(locate),
+        int(opt_level),
+        bool(vectorize),
+        name,
+        tuple(sorted((attr_dims or {}).items())),
+    )
+    return hashlib.sha256(repr(parts).encode()).hexdigest()

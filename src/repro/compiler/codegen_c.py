@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.compiler.cache import default_cache_dir
 from repro.compiler.formats import Param
 from repro.compiler.ir import (
     E,
@@ -196,29 +197,31 @@ class CKernel:
         self.params = list(params)
         self._lib = _build(source, name, cache_dir)
         self._fn = getattr(self._lib, name)
-        argtypes = []
-        for p in self.params:
-            if p.kind == "array":
-                argtypes.append(POINTER(_CTYPES[p.ctype]))
-            else:
-                argtypes.append(_CTYPES[p.ctype])
-        self._fn.argtypes = argtypes
+        # precomputed marshal plan: (name, is_array, value ctor, pointer type)
+        self._plan = [
+            (
+                p.name,
+                p.kind == "array",
+                _CTYPES[p.ctype],
+                POINTER(_CTYPES[p.ctype]) if p.kind == "array" else None,
+            )
+            for p in self.params
+        ]
+        self._fn.argtypes = [
+            ptr if is_arr else ctor for _, is_arr, ctor, ptr in self._plan
+        ]
         self._fn.restype = None
 
     def __call__(self, env: Dict[str, object]) -> None:
         """Invoke with ``env`` mapping parameter names to numpy arrays /
         Python scalars.  Arrays are used in place (must be contiguous
         and correctly typed; the kernel builder guarantees this)."""
-        args = []
-        for p in self.params:
-            v = env[p.name]
-            if p.kind == "array":
-                arr = v
-                assert isinstance(arr, np.ndarray) and arr.dtype == _NP_DTYPES[p.ctype]
-                args.append(arr.ctypes.data_as(POINTER(_CTYPES[p.ctype])))
-            else:
-                args.append(_CTYPES[p.ctype](v))
-        self._fn(*args)
+        self._fn(
+            *(
+                env[name].ctypes.data_as(ptr) if is_arr else ctor(env[name])
+                for name, is_arr, ctor, ptr in self._plan
+            )
+        )
 
 
 _CACHE: Dict[str, CDLL] = {}
@@ -228,8 +231,14 @@ def _build(source: str, name: str, cache_dir: str | None = None) -> CDLL:
     key = hashlib.sha256(source.encode()).hexdigest()[:16]
     if key in _CACHE:
         return _CACHE[key]
-    cache_dir = cache_dir or os.path.join(tempfile.gettempdir(), "repro_kernels")
-    os.makedirs(cache_dir, exist_ok=True)
+    cache_dir = cache_dir or str(default_cache_dir())
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+    except OSError:
+        # an unusable REPRO_KERNEL_CACHE_DIR must not break compilation;
+        # the .so has to land somewhere, so fall back to the temp dir
+        cache_dir = os.path.join(tempfile.gettempdir(), "repro_kernels")
+        os.makedirs(cache_dir, exist_ok=True)
     c_path = os.path.join(cache_dir, f"{name}_{key}.c")
     so_path = os.path.join(cache_dir, f"{name}_{key}.so")
     if not os.path.exists(so_path):

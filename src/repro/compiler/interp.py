@@ -139,11 +139,13 @@ class InterpKernel:
         self.decls = list(decls)
         self.body = body
         self.source = repr(body)
+        # precomputed per-call scaffolding: declared locals all start at
+        # 0 and the parameter-name list never changes
+        self._base_state: MachineState = {v.name: 0 for v in self.decls}
+        self._param_names = [p.name for p in self.params]
 
     def __call__(self, env: Dict[str, Any]) -> None:
-        state: MachineState = {}
-        for v in self.decls:
-            state[v.name] = 0
-        for p in self.params:
-            state[p.name] = env[p.name]
+        state = dict(self._base_state)
+        for name in self._param_names:
+            state[name] = env[name]
         run_stmt(self.body, state)

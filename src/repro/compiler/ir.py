@@ -218,6 +218,8 @@ class P:
 class PSkip(P):
     """No-op (unrelated to stream skip)."""
 
+    __slots__ = ()
+
     def __repr__(self) -> str:
         return "skip"
 

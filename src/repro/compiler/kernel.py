@@ -17,6 +17,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.compiler import codegen_c, codegen_py
+from repro.compiler.cache import kernel_cache, kernel_cache_key
 from repro.compiler.compile_fn import compile_stream
 from repro.compiler.dest import (
     DensePosDest,
@@ -30,6 +31,7 @@ from repro.compiler.formats import FunctionInput, Param, TensorInput
 from repro.compiler.interp import InterpKernel
 from repro.compiler.ir import EVar, NameGen, PSeq, PStore, TINT, ilit
 from repro.compiler.lower import lower
+from repro.compiler.opt import DEFAULT_OPT_LEVEL, optimize
 from repro.compiler.scalars import ScalarOps, scalar_ops_for
 from repro.compiler.sstream import is_sstream
 from repro.streams.base import STAR
@@ -321,7 +323,15 @@ def _check_tensor(name: str, spec: TensorInput, tensor: Tensor) -> None:
 
 
 class KernelBuilder:
-    """Configurable front door to the compiler."""
+    """Configurable front door to the compiler.
+
+    ``opt_level`` selects the :mod:`repro.compiler.opt` pass pipeline
+    (0 = off, the seed behavior, for ablation; 2 = full, the default).
+    ``vectorize`` controls the Python backend's NumPy slice emitter
+    (default: on whenever ``opt_level > 0``; ignored by other
+    backends).  ``cache`` enables the two-tier build cache of
+    :mod:`repro.compiler.cache`.
+    """
 
     def __init__(
         self,
@@ -330,6 +340,9 @@ class KernelBuilder:
         backend: str = "c",
         search: str = "linear",
         locate: bool = True,
+        opt_level: int = DEFAULT_OPT_LEVEL,
+        vectorize: Optional[bool] = None,
+        cache: bool = True,
     ) -> None:
         if backend not in ("c", "python", "interp"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -338,6 +351,11 @@ class KernelBuilder:
         self.backend = backend
         self.search = search
         self.locate = locate
+        self.opt_level = int(opt_level)
+        self.vectorize = backend == "python" and (
+            vectorize if vectorize is not None else self.opt_level > 0
+        )
+        self.cache = cache
 
     def build(
         self,
@@ -374,6 +392,24 @@ class KernelBuilder:
             for a, d in zip(output.attrs, output.dims):
                 dims.setdefault(a, d)
 
+        key = None
+        if self.cache:
+            key = kernel_cache_key(
+                expr, specs, output,
+                semiring=self.ops.semiring, backend=self.backend,
+                search=self.search, locate=self.locate,
+                opt_level=self.opt_level, vectorize=self.vectorize,
+                name=name, attr_dims=dims,
+            )
+            cached = kernel_cache.lookup(key)
+            if cached is not None:
+                return cached
+            restored = self._from_payload(key, specs, output)
+            if restored is not None:
+                kernel_cache.store(key, restored)
+                return restored
+            kernel_cache.record_miss()
+
         ng = NameGen()
         stream = lower(
             expr, self.ctx, specs, self.ops, ng, search=self.search,
@@ -388,6 +424,7 @@ class KernelBuilder:
             dest.finalize(),
             size_stores,
         )
+        body = optimize(body, ng, self.opt_level)
 
         params: list = []
         for var in sorted(specs):
@@ -398,12 +435,64 @@ class KernelBuilder:
             source = codegen_c.emit_kernel_source(name, params, ng.allocated, body)
             backend_kernel = codegen_c.CKernel(source, name, params)
         elif self.backend == "python":
-            backend_kernel = codegen_py.PyKernel(name, params, ng.allocated, body)
+            backend_kernel = codegen_py.PyKernel(
+                name, params, ng.allocated, body, vectorize=self.vectorize
+            )
         else:
             backend_kernel = InterpKernel(name, params, ng.allocated, body)
         kernel = Kernel(name, backend_kernel, params, specs, output, self.ops, body)
         kernel.ws_dim = output.dims[-1] if workspace else None
+
+        if key is not None:
+            kernel_cache.store(key, kernel)
+            self._store_payload(key, kernel, body)
         return kernel
+
+    # ------------------------------------------------------------------
+    # disk tier (tier 2): emitted source + metadata, no re-lowering
+    # ------------------------------------------------------------------
+    def _from_payload(
+        self,
+        key: str,
+        specs: Dict[str, Union[TensorInput, FunctionInput]],
+        output: Optional[OutputSpec],
+    ) -> Optional[Kernel]:
+        if self.backend not in ("c", "python"):
+            return None
+        payload = kernel_cache.load_payload(key)
+        if payload is None or payload.get("backend") != self.backend:
+            return None
+        name = payload["name"]
+        params = [Param(n, k, t) for n, k, t in payload["params"]]
+        source = payload["source"]
+        try:
+            if self.backend == "c":
+                backend_kernel = codegen_c.CKernel(source, name, params)
+            else:
+                backend_kernel = codegen_py.PyKernel.from_source(name, params, source)
+        except Exception:
+            return None  # stale/corrupt entry: rebuild from scratch
+        kernel = Kernel(name, backend_kernel, params, specs, output, self.ops, None)
+        kernel.ws_dim = payload.get("ws_dim")
+        return kernel
+
+    def _store_payload(self, key: str, kernel: Kernel, body) -> None:
+        if self.backend not in ("c", "python"):
+            return
+        ops: Dict[str, object] = {}
+        codegen_py._collect_ops(body, ops)
+        if ops:
+            return  # user-defined op callables cannot be serialized
+        kernel_cache.store_payload(
+            key,
+            {
+                "backend": self.backend,
+                "name": kernel.name,
+                "params": [[p.name, p.kind, p.ctype] for p in kernel.params],
+                "source": kernel.source,
+                "ws_dim": kernel.ws_dim,
+            },
+        )
 
 
 def _level_sequence(stream) -> list:
@@ -532,6 +621,9 @@ def compile_kernel(
     name: str = "kernel",
     attr_dims: Optional[Mapping[str, int]] = None,
     locate: bool = True,
+    opt_level: int = DEFAULT_OPT_LEVEL,
+    vectorize: Optional[bool] = None,
+    cache: bool = True,
 ) -> Kernel:
     """One-call convenience wrapper around :class:`KernelBuilder`."""
     if semiring is None:
@@ -542,5 +634,6 @@ def compile_kernel(
         else:
             raise ValueError("semiring not given and not inferable from inputs")
     builder = KernelBuilder(ctx, semiring, backend=backend, search=search,
-                            locate=locate)
+                            locate=locate, opt_level=opt_level,
+                            vectorize=vectorize, cache=cache)
     return builder.build(expr, inputs, output, name=name, attr_dims=attr_dims)

@@ -16,6 +16,8 @@ from repro.semirings.base import Semiring
 class _Star:
     """The dummy attribute * and its single index value (I_* = {*})."""
 
+    __slots__ = ()
+
     _instance = None
 
     def __new__(cls) -> "_Star":

@@ -23,8 +23,16 @@ def merge_values(semiring: Semiring, a: Any, b: Any) -> Any:
     if not isinstance(a, dict):
         return semiring.add(a, b)
     out = dict(a)
+    add = semiring.add
     for key, val in b.items():
-        out[key] = merge_values(semiring, out[key], val) if key in out else val
+        cur = out.get(key)
+        if cur is None:
+            out[key] = val
+        elif isinstance(cur, dict):
+            out[key] = merge_values(semiring, cur, val)
+        else:
+            # scalar-leaf fast path: no recursive call per entry
+            out[key] = add(cur, val)
     return out
 
 

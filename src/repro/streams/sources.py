@@ -242,6 +242,8 @@ class SingletonStream(Stream):
 class EmptyStream(Stream):
     """A stream with no entries (the zero K-relation at its shape)."""
 
+    __slots__ = ()
+
     def __init__(self, attr: str, semiring: Semiring, value_shape: Tuple[str, ...] = ()) -> None:
         super().__init__(attr, (attr,) + tuple(value_shape), semiring)
 

@@ -1,0 +1,105 @@
+"""Property tests: the optimizer is semantics-preserving.
+
+Random small contraction expressions over ℝ, ℕ, and (min, +), compiled
+at ``opt_level=0`` (the seed pipeline, scalar Python) and at the
+default level (full passes + vectorized Python backend), on all three
+backends; results are compared elementwise.  Floating-point semirings
+compare with tolerance because NumPy's pairwise reductions round
+differently than the sequential loop."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.kernel import OutputSpec, compile_kernel
+from repro.data import Tensor
+from repro.krelation import Schema
+from repro.lang import Sum, TypeContext, Var
+from repro.semirings import FLOAT, MIN_PLUS, NAT
+from tests.strategies import sparse_data
+
+N = 6
+SCHEMA = Schema.of(i=range(N), j=range(N))
+BACKENDS = ("interp", "python", "c")
+SEMIRINGS = {"float": FLOAT, "nat": NAT, "min_plus": MIN_PLUS}
+
+EXPRS = {
+    "dot": (Sum("i", Var("x") * Var("y")), None, ("x", "y")),
+    "vmul": (Var("x") * Var("y"), OutputSpec(("i",), ("dense",), (N,)), ("x", "y")),
+    "vadd": (Var("x") + Var("y"), OutputSpec(("i",), ("dense",), (N,)), ("x", "y")),
+    "spmv": (
+        Sum("j", Var("A") * Var("v")),
+        OutputSpec(("i",), ("dense",), (N,)),
+        ("A", "v"),
+    ),
+}
+
+
+def _tensor(attrs, data, semiring, formats=None):
+    formats = formats or ("dense",) * len(attrs)
+    return Tensor.from_entries(attrs, formats, (N,) * len(attrs), data, semiring)
+
+
+def _close(semiring, a, b):
+    if semiring is NAT:
+        return a == b
+    a, b = float(a), float(b)
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def _assert_equivalent(semiring, r0, r1):
+    if not isinstance(r0, Tensor):
+        assert _close(semiring, r0, r1)
+        return
+    assert np.all(
+        [_close(semiring, x, y) for x, y in zip(r0.vals.ravel(), r1.vals.ravel())]
+    )
+
+
+@pytest.mark.parametrize("sr_name", sorted(SEMIRINGS))
+@pytest.mark.parametrize("which", sorted(EXPRS))
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(data=st.data())
+@settings(max_examples=8, deadline=None)
+def test_opt_level_parity(sr_name, which, backend, data):
+    semiring = SEMIRINGS[sr_name]
+    expr, out, var_names = EXPRS[which]
+    if which == "spmv":
+        ctx = TypeContext(SCHEMA, {"A": {"i", "j"}, "v": {"j"}})
+        A = _tensor(
+            ("i", "j"),
+            data.draw(sparse_data(("i", "j"), max_index=N, semiring=semiring)),
+            semiring,
+            formats=("dense", "sparse"),
+        )
+        v = _tensor(
+            ("j",),
+            data.draw(sparse_data(("j",), max_index=N, semiring=semiring)),
+            semiring,
+        )
+        tensors = {"A": A, "v": v}
+    else:
+        ctx = TypeContext(SCHEMA, {"x": {"i"}, "y": {"i"}})
+        tensors = {
+            name: _tensor(
+                ("i",),
+                data.draw(sparse_data(("i",), max_index=N, semiring=semiring)),
+                semiring,
+            )
+            for name in var_names
+        }
+
+    k0 = compile_kernel(
+        expr, ctx, tensors, out, backend=backend, opt_level=0,
+        name=f"par0_{which}_{sr_name}_{backend}",
+    )
+    k2 = compile_kernel(
+        expr, ctx, tensors, out, backend=backend,
+        name=f"par2_{which}_{sr_name}_{backend}",
+    )
+    _assert_equivalent(semiring, k0.run(tensors), k2.run(tensors))
