@@ -34,6 +34,14 @@ Quickstart::
 
 __version__ = "1.0.0"
 
+from repro.errors import (
+    BackendUnavailableError,
+    CacheCorruptionError,
+    CapacityError,
+    CompileError,
+    ReproError,
+    ShapeError,
+)
 from repro.semirings import BOOL, FLOAT, INT, MAX_PLUS, MIN_PLUS, NAT
 from repro.krelation import Attribute, KRelation, Schema
 from repro.lang import Expr, Lit, Sum, TypeContext, Var, denote, sum_over
@@ -49,4 +57,6 @@ __all__ = [
     "Tensor",
     "KernelBuilder", "OutputSpec", "compile_kernel",
     "einsum",
+    "ReproError", "CompileError", "BackendUnavailableError",
+    "CacheCorruptionError", "CapacityError", "ShapeError",
 ]

@@ -45,6 +45,21 @@ from repro.compiler.cache import (
     kernel_cache_key,
 )
 from repro.compiler.kernel import KernelBuilder, compile_kernel
+from repro.compiler.resilience import (
+    fallback_enabled,
+    gcc_timeout,
+    logger,
+    toolchain,
+    toolchain_available,
+)
+from repro.errors import (
+    BackendUnavailableError,
+    CacheCorruptionError,
+    CapacityError,
+    CompileError,
+    ReproError,
+    ShapeError,
+)
 from repro.compiler.opt import (
     DEFAULT_OPT_LEVEL,
     eliminate_common_subexprs,
@@ -93,4 +108,15 @@ __all__ = [
     "kernel_cache_key",
     "KernelCache",
     "CacheStats",
+    "ReproError",
+    "CompileError",
+    "BackendUnavailableError",
+    "CacheCorruptionError",
+    "CapacityError",
+    "ShapeError",
+    "logger",
+    "fallback_enabled",
+    "toolchain",
+    "toolchain_available",
+    "gcc_timeout",
 ]

@@ -23,6 +23,13 @@ a name and type signature would collide, so kernels whose IR contains
 ``ECall``s are never written to the disk tier (their Python callables
 cannot be serialized anyway) and are memoized in memory only.
 
+The disk tier is crash-safe and self-verifying: payloads are published
+with write-to-temp + ``os.replace`` under a per-key file lock, carry a
+sha256 checksum over the canonical JSON body, and a corrupt or
+truncated entry is *quarantined* (renamed to ``<name>.corrupt``) and
+rebuilt — logged via the ``repro`` logger, never a crash and never a
+silent wrong answer.
+
 Environment variables:
 
 * ``REPRO_KERNEL_CACHE_DIR`` — directory for the disk tier (default
@@ -43,7 +50,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-CACHE_VERSION = 1
+from repro.compiler import resilience
+from repro.compiler.resilience import logger
+
+CACHE_VERSION = 2  # v2: checksummed payload envelope
 
 ENV_CACHE_DIR = "REPRO_KERNEL_CACHE_DIR"
 ENV_CACHE = "REPRO_KERNEL_CACHE"
@@ -112,16 +122,44 @@ class KernelCache:
         return self.cache_dir() / f"kmeta_{key[:24]}.json"
 
     def load_payload(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the stored build payload for ``key``, or None."""
+        """Return the stored build payload for ``key``, or None.
+
+        A missing entry and a stale version are silent misses; a
+        corrupt entry (unparseable JSON, checksum mismatch, missing
+        envelope fields) is quarantined and logged, then treated as a
+        miss so the caller rebuilds.
+        """
         if not disk_cache_enabled():
             return None
         path = self._payload_path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            logger.warning("kernel cache entry %s unreadable (%s)", path, exc)
+            return None
+        try:
+            record = json.loads(text)
+            if isinstance(record, dict) and "payload" not in record and "version" in record:
+                return None  # pre-checksum (v1) entry: stale, plain miss
+            payload = record["payload"]
+            digest = record["sha256"]
+        except (ValueError, TypeError, KeyError) as exc:
+            logger.warning(
+                "corrupt kernel cache entry %s (%s: %s); quarantining",
+                path, type(exc).__name__, exc,
+            )
+            resilience.quarantine(path)
+            return None
+        if digest != _payload_digest(payload):
+            logger.warning(
+                "kernel cache entry %s failed its checksum; quarantining", path
+            )
+            resilience.quarantine(path)
             return None
         if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
-            return None
+            return None  # stale format or hash-prefix collision: plain miss
         with self._lock:
             self.stats.disk_hits += 1
         return payload
@@ -130,14 +168,21 @@ class KernelCache:
         if not disk_cache_enabled():
             return
         payload = dict(payload, version=CACHE_VERSION, key=key)
+        record = {"sha256": _payload_digest(payload), "payload": payload}
         path = self._payload_path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp{os.getpid()}")
-            tmp.write_text(json.dumps(payload))
-            tmp.replace(path)  # atomic on POSIX
-        except OSError:
-            pass  # the disk tier is best-effort
+            with resilience.file_lock(path):
+                resilience.atomic_write_text(path, json.dumps(record))
+        except OSError as exc:
+            # the disk tier is best-effort, but skipping it is not silent
+            logger.warning("could not store kernel cache entry %s (%s)", path, exc)
+
+    def invalidate_payload(self, key: str) -> None:
+        """Drop ``key``'s disk entry (quarantine it for post-mortem)."""
+        path = self._payload_path(key)
+        if path.exists():
+            resilience.quarantine(path)
 
     def clear(self, disk: bool = False) -> None:
         with self._lock:
@@ -149,6 +194,14 @@ class KernelCache:
                     f.unlink()
             except OSError:
                 pass
+
+
+def _payload_digest(payload: Any) -> str:
+    """sha256 over the canonical JSON body (key-sorted, so the digest
+    is independent of dict insertion order)."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
 
 
 #: the default process-wide cache used by :class:`KernelBuilder`

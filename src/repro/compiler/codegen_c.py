@@ -11,6 +11,7 @@ from __future__ import annotations
 import hashlib
 import math
 import os
+import shutil
 import subprocess
 import tempfile
 from ctypes import CDLL, POINTER, c_bool, c_double, c_int64
@@ -18,8 +19,11 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.compiler import resilience
 from repro.compiler.cache import default_cache_dir
 from repro.compiler.formats import Param
+from repro.compiler.resilience import logger
+from repro.errors import BackendUnavailableError, CacheCorruptionError, CompileError
 from repro.compiler.ir import (
     E,
     fold,
@@ -227,28 +231,94 @@ class CKernel:
 _CACHE: Dict[str, CDLL] = {}
 
 
+def _compile(source: str, c_path: str, so_path: str) -> None:
+    """Run the C toolchain: atomic source/artifact publication, probe
+    for a missing compiler, configurable timeout, one retry on
+    transient failures, stderr attached to the raised error."""
+    cc = resilience.toolchain()
+    if shutil.which(cc) is None:
+        raise BackendUnavailableError("c", f"compiler {cc!r} not found on PATH")
+    resilience.atomic_write_text(c_path, source)
+    # compile into a temp name and publish with os.replace so a
+    # concurrent (or crashed) builder never exposes a truncated .so
+    tmp_so = f"{so_path}.build{os.getpid()}"
+    cmd = [cc, "-O3", "-march=native", "-shared", "-fPIC", c_path, "-o", tmp_so, "-lm"]
+    timeout = resilience.gcc_timeout()
+    last_error: CompileError | None = None
+    try:
+        for attempt in (1, 2):
+            try:
+                proc = subprocess.run(cmd, capture_output=True, timeout=timeout)
+            except subprocess.TimeoutExpired as exc:
+                stderr = exc.stderr.decode(errors="replace") if exc.stderr else None
+                raise CompileError(
+                    f"{cc} timed out after {timeout:.1f}s compiling {c_path}",
+                    command=cmd, stderr=stderr, timeout=True,
+                ) from exc
+            except OSError as exc:  # vanished mid-run, exec failure, ...
+                last_error = CompileError(f"could not invoke {cc}: {exc}", command=cmd)
+                logger.warning("compiler invocation failed (%s); attempt %d", exc, attempt)
+                continue
+            if proc.returncode == 0:
+                os.replace(tmp_so, so_path)
+                return
+            stderr = proc.stderr.decode(errors="replace")
+            last_error = CompileError(
+                f"{cc} exited with status {proc.returncode}",
+                command=cmd, returncode=proc.returncode, stderr=stderr,
+            )
+            if not resilience.is_transient(proc.returncode):
+                raise last_error
+            logger.warning(
+                "transient compiler failure (status %d) on attempt %d; retrying",
+                proc.returncode, attempt,
+            )
+        assert last_error is not None
+        raise last_error
+    finally:
+        if os.path.exists(tmp_so):
+            try:
+                os.unlink(tmp_so)
+            except OSError:
+                pass
+
+
 def _build(source: str, name: str, cache_dir: str | None = None) -> CDLL:
     key = hashlib.sha256(source.encode()).hexdigest()[:16]
     if key in _CACHE:
         return _CACHE[key]
-    cache_dir = cache_dir or str(default_cache_dir())
-    try:
-        os.makedirs(cache_dir, exist_ok=True)
-    except OSError:
-        # an unusable REPRO_KERNEL_CACHE_DIR must not break compilation;
-        # the .so has to land somewhere, so fall back to the temp dir
-        cache_dir = os.path.join(tempfile.gettempdir(), "repro_kernels")
-        os.makedirs(cache_dir, exist_ok=True)
+    cache_dir = resilience.usable_cache_dir(cache_dir or str(default_cache_dir()))
     c_path = os.path.join(cache_dir, f"{name}_{key}.c")
     so_path = os.path.join(cache_dir, f"{name}_{key}.so")
     if not os.path.exists(so_path):
-        with open(c_path, "w") as f:
-            f.write(source)
-        subprocess.run(
-            ["gcc", "-O3", "-march=native", "-shared", "-fPIC", c_path, "-o", so_path, "-lm"],
-            check=True,
-            capture_output=True,
+        # per-key lock: two processes building the same kernel compile
+        # once (or harmlessly twice on lock failure — publication is
+        # atomic either way)
+        with resilience.file_lock(so_path):
+            if not os.path.exists(so_path):
+                _compile(source, c_path, so_path)
+    try:
+        lib = CDLL(so_path)
+    except OSError as exc:
+        # truncated or clobbered .so from a crashed writer: quarantine
+        # the bad artifact and rebuild (in a scratch dir if the cache
+        # dir is not writable)
+        logger.warning(
+            "cached shared object %s failed to load (%s); rebuilding", so_path, exc
         )
-    lib = CDLL(so_path)
+        if resilience.quarantine(so_path) is None:
+            scratch = tempfile.mkdtemp(prefix="repro_so_")
+            c_path = os.path.join(scratch, f"{name}_{key}.c")
+            so_path = os.path.join(scratch, f"{name}_{key}.so")
+        with resilience.file_lock(so_path):
+            if not os.path.exists(so_path):
+                _compile(source, c_path, so_path)
+        try:
+            lib = CDLL(so_path)
+        except OSError as exc2:
+            raise CacheCorruptionError(
+                f"shared object {so_path} unloadable even after rebuild: {exc2}",
+                path=so_path,
+            ) from exc2
     _CACHE[key] = lib
     return lib

@@ -43,6 +43,7 @@ import math
 import numpy as np
 
 from repro.compiler.formats import Param
+from repro.errors import CompileError
 from repro.compiler.ir import (
     E,
     fold,
@@ -484,8 +485,16 @@ class PyKernel:
         namespace: Dict[str, object] = {"_inf": math.inf, "_np": np}
         for op_name, spec in ops.items():
             namespace[f"_op_{op_name}"] = spec
-        exec(compile(source, f"<kernel {name}>", "exec"), namespace)
-        self._fn = namespace[name]
+        try:
+            exec(compile(source, f"<kernel {name}>", "exec"), namespace)
+            self._fn = namespace[name]
+        except (SyntaxError, ValueError, KeyError) as exc:
+            # freshly emitted source always compiles; this fires on a
+            # tampered/truncated disk-cache payload, which the builder
+            # must treat as corruption, not crash on
+            raise CompileError(
+                f"generated Python source for kernel {name!r} is invalid: {exc}"
+            ) from exc
 
     def __call__(self, env: Dict[str, object]) -> None:
         self._fn(*map(env.__getitem__, self._param_names))

@@ -16,8 +16,9 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.compiler import codegen_c, codegen_py
+from repro.compiler import codegen_c, codegen_py, resilience
 from repro.compiler.cache import kernel_cache, kernel_cache_key
+from repro.compiler.resilience import logger
 from repro.compiler.compile_fn import compile_stream
 from repro.compiler.dest import (
     DensePosDest,
@@ -36,16 +37,20 @@ from repro.compiler.scalars import ScalarOps, scalar_ops_for
 from repro.compiler.sstream import is_sstream
 from repro.streams.base import STAR
 from repro.data.tensor import Tensor
-from repro.krelation.schema import ShapeError
+from repro.errors import (
+    BackendUnavailableError,
+    CapacityError,
+    CompileError,
+    ShapeError,
+)
 from repro.lang.ast import Expr
 from repro.lang.typing import TypeContext, shape_of
 from repro.semirings.base import Semiring
 
 _IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 
-
-class CapacityError(RuntimeError):
-    """The preallocated sparse output was too small for the result."""
+# CapacityError historically lived here; it now sits in the shared
+# taxonomy (repro.errors) and is re-exported for existing importers.
 
 
 @dataclass(frozen=True)
@@ -113,13 +118,60 @@ class Kernel:
         self,
         tensors: Mapping[str, Tensor],
         capacity: Optional[int] = None,
+        *,
+        auto_grow: bool = False,
+        max_capacity: Optional[int] = None,
     ) -> Union[Tensor, float, int, bool]:
         """Execute on concrete tensors; returns the output tensor (or a
-        scalar for shape-∅ kernels)."""
-        env = self._marshal_inputs(tensors)
-        out_arrays = self._allocate_output(env, capacity)
-        self._kernel(env)
-        return self._assemble_output(env, out_arrays)
+        scalar for shape-∅ kernels).
+
+        With ``auto_grow=True`` an undersized sparse output no longer
+        raises: the run is retried with geometrically doubled capacity
+        (jumping straight to the reported need when it is larger) up to
+        ``max_capacity`` — default ``REPRO_MAX_CAPACITY`` or the dense
+        size of the output, whichever the caller supplies.  Each retry
+        is logged via the ``repro`` logger.  Generated kernels bound
+        every write by the allocated capacity, so an overflowing run is
+        safe — only its size counters run past the end.
+        """
+        cap = capacity
+        while True:
+            env = self._marshal_inputs(tensors)
+            self._allocate_output(env, cap)
+            self._kernel(env)
+            try:
+                return self._assemble_output(env, {})
+            except CapacityError as exc:
+                if not auto_grow:
+                    raise
+                current = int(env.get("out_cap", 0))
+                bound = self._grow_bound(max_capacity)
+                if current >= bound:
+                    raise CapacityError(
+                        f"output needs {exc.needed} entries but the auto-grow "
+                        f"bound is {bound}; raise max_capacity/"
+                        f"{resilience.ENV_MAX_CAPACITY}",
+                        needed=exc.needed,
+                        capacity=current,
+                    ) from exc
+                cap = min(bound, max(current * 2, exc.needed or 0))
+                logger.info(
+                    "kernel %r: output capacity %d too small (needs >= %s); "
+                    "retrying with capacity %d",
+                    self.name, current, exc.needed, cap,
+                )
+
+    def _grow_bound(self, max_capacity: Optional[int]) -> int:
+        """The auto-grow ceiling: caller argument, then the
+        ``REPRO_MAX_CAPACITY`` environment override, then the dense size
+        of the output (an undersized result can never need more)."""
+        if max_capacity is not None:
+            return int(max_capacity)
+        env_bound = resilience.max_auto_capacity()
+        if env_bound is not None:
+            return env_bound
+        out = self.output
+        return int(np.prod(out.dims)) if out is not None and out.dims else 1
 
     def _marshal_inputs(self, tensors: Mapping[str, Tensor]) -> Dict[str, object]:
         env: Dict[str, object] = {}
@@ -229,13 +281,17 @@ class Kernel:
             if leaf_size > env["out_cap"]:
                 raise CapacityError(
                     f"output needs {leaf_size} entries but capacity is "
-                    f"{env['out_cap']}; re-run with a larger capacity="
+                    f"{env['out_cap']}; re-run with a larger capacity=",
+                    needed=leaf_size,
+                    capacity=int(env["out_cap"]),
                 )
         if "out_row_cap" in env and out.formats == ("sparse", "sparse"):
             if int(sizes[0]) > env["out_row_cap"]:
                 raise CapacityError(
                     f"output needs {int(sizes[0])} rows but row capacity is "
-                    f"{env['out_row_cap']}; re-run with a larger capacity="
+                    f"{env['out_row_cap']}; re-run with a larger capacity=",
+                    needed=int(sizes[0]),
+                    capacity=int(env["out_row_cap"]),
                 )
         if out.formats == ("sparse",):
             n = int(sizes[0])
@@ -431,9 +487,23 @@ class KernelBuilder:
             params.extend(specs[var].params())
         params.extend(out_params)
 
+        backend_used = self.backend
         if self.backend == "c":
-            source = codegen_c.emit_kernel_source(name, params, ng.allocated, body)
-            backend_kernel = codegen_c.CKernel(source, name, params)
+            try:
+                source = codegen_c.emit_kernel_source(name, params, ng.allocated, body)
+                backend_kernel = codegen_c.CKernel(source, name, params)
+            except (BackendUnavailableError, CompileError) as exc:
+                if not resilience.fallback_enabled():
+                    raise
+                logger.warning(
+                    "C backend failed for kernel %r (%s); falling back to the "
+                    "Python backend (set %s=0 to fail instead)",
+                    name, exc, resilience.ENV_BACKEND_FALLBACK,
+                )
+                backend_kernel = codegen_py.PyKernel(
+                    name, params, ng.allocated, body, vectorize=self.opt_level > 0
+                )
+                backend_used = "python"
         elif self.backend == "python":
             backend_kernel = codegen_py.PyKernel(
                 name, params, ng.allocated, body, vectorize=self.vectorize
@@ -445,7 +515,7 @@ class KernelBuilder:
 
         if key is not None:
             kernel_cache.store(key, kernel)
-            self._store_payload(key, kernel, body)
+            self._store_payload(key, kernel, body, backend_used)
         return kernel
 
     # ------------------------------------------------------------------
@@ -460,24 +530,54 @@ class KernelBuilder:
         if self.backend not in ("c", "python"):
             return None
         payload = kernel_cache.load_payload(key)
-        if payload is None or payload.get("backend") != self.backend:
+        if payload is None:
             return None
-        name = payload["name"]
-        params = [Param(n, k, t) for n, k, t in payload["params"]]
-        source = payload["source"]
+        # `backend` is what the stored source targets; `requested_backend`
+        # is what the builder originally asked for (they differ when the
+        # stored kernel was itself a logged C→Python fallback)
+        requested = payload.get("requested_backend", payload.get("backend"))
+        backend = payload.get("backend")
+        if requested != self.backend or backend not in ("c", "python"):
+            return None
+        if backend == "python" and requested == "c" and resilience.toolchain_available(refresh=True):
+            logger.info(
+                "toolchain available again; rebuilding key %s... with the C "
+                "backend instead of its cached fallback", key[:12],
+            )
+            return None
         try:
-            if self.backend == "c":
+            name = payload["name"]
+            params = [Param(n, k, t) for n, k, t in payload["params"]]
+            source = payload["source"]
+            if backend == "c":
                 backend_kernel = codegen_c.CKernel(source, name, params)
             else:
                 backend_kernel = codegen_py.PyKernel.from_source(name, params, source)
-        except Exception:
-            return None  # stale/corrupt entry: rebuild from scratch
+        except BackendUnavailableError as exc:
+            # the payload is fine but the toolchain is gone: a fresh
+            # build will go through the (logged) backend-fallback path
+            logger.warning(
+                "cached C kernel for key %s... not rebuildable (%s); "
+                "re-lowering", key[:12], exc,
+            )
+            return None
+        except Exception as exc:
+            logger.warning(
+                "corrupted kernel cache payload for key %s... (%s: %s); "
+                "invalidating the entry and rebuilding",
+                key[:12], type(exc).__name__, exc,
+            )
+            kernel_cache.invalidate_payload(key)
+            return None
         kernel = Kernel(name, backend_kernel, params, specs, output, self.ops, None)
         kernel.ws_dim = payload.get("ws_dim")
         return kernel
 
-    def _store_payload(self, key: str, kernel: Kernel, body) -> None:
-        if self.backend not in ("c", "python"):
+    def _store_payload(
+        self, key: str, kernel: Kernel, body, backend_used: Optional[str] = None
+    ) -> None:
+        backend_used = backend_used or self.backend
+        if backend_used not in ("c", "python"):
             return
         ops: Dict[str, object] = {}
         codegen_py._collect_ops(body, ops)
@@ -486,7 +586,8 @@ class KernelBuilder:
         kernel_cache.store_payload(
             key,
             {
-                "backend": self.backend,
+                "backend": backend_used,
+                "requested_backend": self.backend,
                 "name": kernel.name,
                 "params": [[p.name, p.kind, p.ctype] for p in kernel.params],
                 "source": kernel.source,

@@ -1,0 +1,270 @@
+"""Resilient build & execution utilities for the compiler pipeline.
+
+The compiler built through PR 1 assumed a cooperating environment: gcc
+on ``PATH``, a writable cache directory, intact cache artifacts.  This
+module centralizes everything needed to degrade gracefully when those
+assumptions break:
+
+* **Toolchain probing** — :func:`toolchain`, :func:`toolchain_available`
+  (result cached per compiler name; ``REPRO_GCC`` overrides the
+  compiler binary, which doubles as a fault-injection hook).
+* **Fallback policy** — :func:`fallback_enabled` reads
+  ``REPRO_BACKEND_FALLBACK`` (default *on*).  When the C backend cannot
+  build, :class:`~repro.compiler.kernel.KernelBuilder` downgrades to
+  the Python backend and logs a warning; with fallback disabled the
+  typed error propagates instead.
+* **Subprocess hardening** — :func:`gcc_timeout` reads
+  ``REPRO_GCC_TIMEOUT`` (seconds, default 120); :func:`is_transient`
+  classifies failures worth one retry (signals/OS hiccups, not source
+  errors).
+* **Crash-safe writes** — :func:`atomic_write_text` /
+  :func:`atomic_write_bytes` publish files via write-to-temp +
+  ``os.replace`` so a concurrent reader never observes a half-written
+  artifact; :func:`file_lock` serializes builders racing on one cache
+  key.
+* **Quarantine** — :func:`quarantine` renames a corrupt artifact to
+  ``<name>.corrupt`` (keeping it for post-mortem) so the builder can
+  rebuild into a clean slot.
+
+Every recovery path in the package logs through the shared ``repro``
+logger (:data:`logger`) — fallbacks are **never** silent.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import shutil
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+try:  # POSIX advisory locks; Windows falls back to O_EXCL spinning
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+#: the package-wide logger every fallback/recovery path reports through
+logger = logging.getLogger("repro")
+
+ENV_BACKEND_FALLBACK = "REPRO_BACKEND_FALLBACK"
+ENV_GCC = "REPRO_GCC"
+ENV_GCC_TIMEOUT = "REPRO_GCC_TIMEOUT"
+ENV_MAX_CAPACITY = "REPRO_MAX_CAPACITY"
+
+DEFAULT_GCC_TIMEOUT = 120.0
+
+_FALSEY = ("0", "off", "no", "false")
+
+
+def fallback_enabled() -> bool:
+    """Whether a failed C build may downgrade to the Python backend."""
+    return os.environ.get(ENV_BACKEND_FALLBACK, "1").lower() not in _FALSEY
+
+
+def toolchain() -> str:
+    """The C compiler binary (``REPRO_GCC`` override, default ``gcc``)."""
+    return os.environ.get(ENV_GCC, "gcc")
+
+
+def gcc_timeout() -> float:
+    """Wall-clock budget for one compiler invocation, in seconds."""
+    raw = os.environ.get(ENV_GCC_TIMEOUT)
+    if not raw:
+        return DEFAULT_GCC_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        logger.warning(
+            "ignoring non-numeric %s=%r; using default %.0fs",
+            ENV_GCC_TIMEOUT, raw, DEFAULT_GCC_TIMEOUT,
+        )
+        return DEFAULT_GCC_TIMEOUT
+    return value if value > 0 else DEFAULT_GCC_TIMEOUT
+
+
+def max_auto_capacity() -> Optional[int]:
+    """Optional global ceiling for capacity auto-growth."""
+    raw = os.environ.get(ENV_MAX_CAPACITY)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", ENV_MAX_CAPACITY, raw)
+        return None
+
+
+_probe_lock = threading.Lock()
+_probe_cache: Dict[str, bool] = {}
+
+
+def toolchain_available(refresh: bool = False) -> bool:
+    """Whether the configured C compiler is on ``PATH`` (probe cached
+    per compiler name; ``refresh=True`` re-probes)."""
+    cc = toolchain()
+    with _probe_lock:
+        if refresh or cc not in _probe_cache:
+            _probe_cache[cc] = shutil.which(cc) is not None
+        return _probe_cache[cc]
+
+
+def reset_probe_cache() -> None:
+    """Forget probe results (tests; after installing a toolchain)."""
+    with _probe_lock:
+        _probe_cache.clear()
+
+
+def is_transient(returncode: Optional[int]) -> bool:
+    """Whether a compiler exit status is worth one retry.
+
+    Death by signal (negative returncode on POSIX) usually means an OOM
+    kill or an external interruption, not a defect in the generated
+    source; a regular nonzero exit is a real compile error and retrying
+    would only fail identically.
+    """
+    return returncode is not None and returncode < 0
+
+
+# ----------------------------------------------------------------------
+# crash-safe filesystem primitives
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers see old-or-new, never half."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    atomic_write_bytes(path, text.encode())
+
+
+@contextmanager
+def file_lock(path: Union[str, Path], timeout: float = 60.0):
+    """An advisory per-key lock for concurrent builders.
+
+    ``path`` names the artifact being built; the lock itself lives in a
+    sibling ``<name>.lock`` file.  Uses ``flock`` where available and
+    falls back to ``O_CREAT|O_EXCL`` spinning otherwise.  Lock failures
+    (read-only directory, exotic filesystems) degrade to running
+    unlocked — the artifacts themselves are still published atomically,
+    so the worst case is duplicated work, never corruption.
+    """
+    lock_path = str(path) + ".lock"
+    if fcntl is not None:
+        fd = None
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            if fd is not None:
+                os.close(fd)
+                fd = None
+            logger.debug("could not lock %s; continuing unlocked", lock_path)
+        try:
+            yield
+        finally:
+            if fd is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                finally:
+                    os.close(fd)
+        return
+    # portable fallback: exclusive-create spin lock  # pragma: no cover
+    deadline = time.monotonic() + timeout
+    fd = None
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            if time.monotonic() >= deadline:
+                logger.debug("lock %s busy past timeout; continuing unlocked", lock_path)
+                break
+            time.sleep(0.05)
+        except OSError:
+            logger.debug("could not lock %s; continuing unlocked", lock_path)
+            break
+    try:
+        yield
+    finally:
+        if fd is not None:
+            os.close(fd)
+            try:
+                os.unlink(lock_path)
+            except OSError:
+                pass
+
+
+def quarantine(path: Union[str, Path]) -> Optional[Path]:
+    """Move a corrupt artifact aside to ``<name>.corrupt``.
+
+    Returns the quarantine path, or ``None`` when the rename failed
+    (read-only directory) — callers must then build elsewhere.  The bad
+    bytes are kept, not deleted, so corruption can be diagnosed later.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:
+        logger.warning("could not quarantine corrupt artifact %s", path)
+        return None
+    logger.warning("quarantined corrupt artifact %s -> %s", path, target.name)
+    return target
+
+
+def usable_cache_dir(preferred: Union[str, Path]) -> str:
+    """``preferred`` if it can be created, else a temp-dir fallback.
+
+    An unusable ``REPRO_KERNEL_CACHE_DIR`` (missing parent, file in the
+    way, no permissions) must never break compilation — artifacts have
+    to land somewhere.  The downgrade is logged, never silent.
+    """
+    preferred = str(preferred)
+    try:
+        os.makedirs(preferred, exist_ok=True)
+        return preferred
+    except OSError as exc:
+        fallback = os.path.join(tempfile.gettempdir(), "repro_kernels")
+        logger.warning(
+            "cache directory %s unusable (%s); falling back to %s",
+            preferred, exc, fallback,
+        )
+        os.makedirs(fallback, exist_ok=True)
+        return fallback
+
+
+__all__ = [
+    "logger",
+    "ENV_BACKEND_FALLBACK",
+    "ENV_GCC",
+    "ENV_GCC_TIMEOUT",
+    "ENV_MAX_CAPACITY",
+    "DEFAULT_GCC_TIMEOUT",
+    "fallback_enabled",
+    "toolchain",
+    "toolchain_available",
+    "reset_probe_cache",
+    "gcc_timeout",
+    "max_auto_capacity",
+    "is_transient",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "file_lock",
+    "quarantine",
+    "usable_cache_dir",
+]

@@ -1,0 +1,108 @@
+"""The shared error taxonomy, rooted at :class:`ReproError`.
+
+Every failure the compiler pipeline can surface to a caller is a typed
+subclass of :class:`ReproError`, so service layers can catch one base
+class and switch on the concrete type.  The taxonomy distinguishes
+
+* *environment* failures — a missing or broken toolchain
+  (:class:`BackendUnavailableError`, :class:`CompileError`),
+* *state* failures — corrupted on-disk cache artifacts
+  (:class:`CacheCorruptionError`),
+* *sizing* failures — a preallocated sparse output too small for the
+  result (:class:`CapacityError`), and
+* *usage* failures — shape mismatches (:class:`ShapeError`).
+
+:class:`CapacityError` and :class:`ShapeError` predate the taxonomy and
+keep their original bases (``RuntimeError`` / ``TypeError``) so
+existing ``except`` clauses continue to work.
+
+Fallback behavior (backend downgrade, cache quarantine-and-rebuild,
+capacity auto-growth) is never silent: every recovery path logs through
+the package-wide ``repro`` logger (see
+:mod:`repro.compiler.resilience`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class ReproError(Exception):
+    """Base class for every typed error raised by the repro package."""
+
+
+class CompileError(ReproError):
+    """Invoking the C toolchain failed (nonzero exit, signal, timeout).
+
+    Carries everything needed for a useful bug report: the command,
+    exit code, captured stderr, and whether the failure was a timeout.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        command: Optional[Sequence[str]] = None,
+        returncode: Optional[int] = None,
+        stderr: Optional[str] = None,
+        timeout: bool = False,
+    ) -> None:
+        detail = message
+        if stderr:
+            detail = f"{message}\n--- compiler stderr ---\n{stderr.rstrip()}"
+        super().__init__(detail)
+        self.command = list(command) if command is not None else None
+        self.returncode = returncode
+        self.stderr = stderr
+        self.timeout = timeout
+
+
+class BackendUnavailableError(ReproError):
+    """The requested backend cannot run in this environment (e.g. the C
+    backend with no compiler on ``PATH``)."""
+
+    def __init__(self, backend: str, reason: str) -> None:
+        super().__init__(f"backend {backend!r} unavailable: {reason}")
+        self.backend = backend
+        self.reason = reason
+
+
+class CacheCorruptionError(ReproError):
+    """A cached build artifact is unreadable and could not be rebuilt."""
+
+    def __init__(self, message: str, *, path: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class CapacityError(ReproError, RuntimeError):
+    """The preallocated sparse output was too small for the result.
+
+    ``needed`` and ``capacity`` (when known) let callers — and
+    ``Kernel.run(auto_grow=True)`` — size the retry allocation.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        needed: Optional[int] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.needed = needed
+        self.capacity = capacity
+
+
+class ShapeError(ReproError, TypeError):
+    """Raised when an expression or operation is used at the wrong shape."""
+
+
+__all__ = [
+    "ReproError",
+    "CompileError",
+    "BackendUnavailableError",
+    "CacheCorruptionError",
+    "CapacityError",
+    "ShapeError",
+]

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
+from repro.errors import ShapeError  # re-exported; historical home of the class
 
-class ShapeError(TypeError):
-    """Raised when an expression or operation is used at the wrong shape."""
+__all__ = ["ShapeError", "Attribute", "Schema"]
 
 
 class Attribute:

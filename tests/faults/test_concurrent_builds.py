@@ -1,0 +1,81 @@
+"""Concurrent kernel builds: two processes racing on one cache key must
+both succeed and agree — whichever wins the per-key lock compiles, the
+other either waits for the lock or rebuilds harmlessly (publication via
+``os.replace`` is atomic, so a reader never sees a half-written
+artifact).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tests.faults.conftest import requires_gcc
+
+WORKER = Path(__file__).with_name("_concurrent_worker.py")
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _launch(backend: str, env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, str(WORKER), backend],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def _run_pair(backend: str, tmp_path, extra_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_KERNEL_CACHE_DIR"] = str(tmp_path / "shared_cache")
+    env.update(extra_env or {})
+    procs = [_launch(backend, env), _launch(backend, env)]
+    outs = []
+    for p in procs:
+        out, err = p.communicate(timeout=180)
+        assert p.returncode == 0, f"worker failed:\nstdout:\n{out}\nstderr:\n{err}"
+        outs.append(out)
+    checks = [ln for out in outs for ln in out.splitlines() if ln.startswith("CHECK")]
+    assert len(checks) == 2 and checks[0] == checks[1], checks
+    return env, checks[0]
+
+
+def test_concurrent_python_builds_agree(tmp_path):
+    _run_pair("python", tmp_path)
+    # both workers leave a single intact payload behind
+    entries = list((tmp_path / "shared_cache").glob("kmeta_*.json"))
+    assert len(entries) == 1
+
+
+@requires_gcc
+def test_concurrent_c_builds_agree(tmp_path):
+    """Stretch the compile window with a slowed gcc wrapper so the two
+    builders genuinely overlap inside ``_build``."""
+    real_gcc = shutil.which("gcc")
+    wrapper = tmp_path / "slow_gcc.sh"
+    wrapper.write_text(f'#!/bin/sh\nsleep 1\nexec "{real_gcc}" "$@"\n')
+    wrapper.chmod(0o755)
+    env, _ = _run_pair("c", tmp_path, {"REPRO_GCC": str(wrapper)})
+    so_files = list((tmp_path / "shared_cache").glob("concurrent_k_*.so"))
+    assert len(so_files) == 1  # one key, one artifact, no torn files
+
+
+def test_warm_process_served_from_disk(tmp_path):
+    """After the race, a third process must be served by the disk tier
+    with zero misses (cache_smoke's warm stage, as a real test)."""
+    env, check = _run_pair("python", tmp_path)
+    proc = subprocess.run(
+        [sys.executable, str(WORKER), "python"],
+        capture_output=True, text=True, env=env, timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert f"{check}" in proc.stdout
+    stats = [ln for ln in proc.stdout.splitlines() if ln.startswith("STATS")][0]
+    assert "disk_hits=1" in stats and "misses=0" in stats
