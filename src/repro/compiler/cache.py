@@ -48,7 +48,7 @@ import tempfile
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.compiler import resilience
 from repro.compiler.resilience import logger
@@ -250,8 +250,15 @@ def kernel_cache_key(
     vectorize: bool,
     name: str,
     attr_dims: Optional[Dict[str, int]] = None,
+    sanitize: Tuple[str, ...] = (),
 ) -> str:
-    """sha256 of the canonical description of one kernel build."""
+    """sha256 of the canonical description of one kernel build.
+
+    ``sanitize`` participates because the requested sanitizers change
+    the generated artifact (ASan/UBSan build flags for C, the checked
+    bounds-verifying emitter for Python) — a sanitized and an
+    unsanitized build of the same kernel must never share a cache slot.
+    """
     parts = (
         CACHE_VERSION,
         repr(expr),
@@ -265,5 +272,6 @@ def kernel_cache_key(
         bool(vectorize),
         name,
         tuple(sorted((attr_dims or {}).items())),
+        tuple(sanitize),
     )
     return hashlib.sha256(repr(parts).encode()).hexdigest()

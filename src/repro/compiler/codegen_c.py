@@ -231,6 +231,23 @@ class CKernel:
 _CACHE: Dict[str, CDLL] = {}
 
 
+def _sanitizer_flags() -> List[str]:
+    """Compiler flags for the requested ``REPRO_SANITIZE`` modes.
+
+    ``address`` instruments heap/stack accesses (loading the resulting
+    shared object into an uninstrumented Python needs
+    ``LD_PRELOAD=libasan.so`` — see the CI sanitize job); ``undefined``
+    aborts on signed overflow, bad shifts, and friends instead of
+    recovering silently."""
+    flags: List[str] = []
+    for mode in resilience.sanitize_modes():
+        if mode == "address":
+            flags += ["-fsanitize=address", "-fno-omit-frame-pointer"]
+        elif mode == "undefined":
+            flags += ["-fsanitize=undefined", "-fno-sanitize-recover=undefined"]
+    return flags
+
+
 def _compile(source: str, c_path: str, so_path: str) -> None:
     """Run the C toolchain: atomic source/artifact publication, probe
     for a missing compiler, configurable timeout, one retry on
@@ -242,7 +259,8 @@ def _compile(source: str, c_path: str, so_path: str) -> None:
     # compile into a temp name and publish with os.replace so a
     # concurrent (or crashed) builder never exposes a truncated .so
     tmp_so = f"{so_path}.build{os.getpid()}"
-    cmd = [cc, "-O3", "-march=native", "-shared", "-fPIC", c_path, "-o", tmp_so, "-lm"]
+    cmd = [cc, "-O3", "-march=native", "-shared", "-fPIC", *_sanitizer_flags(),
+           c_path, "-o", tmp_so, "-lm"]
     timeout = resilience.gcc_timeout()
     last_error: CompileError | None = None
     try:
@@ -284,7 +302,13 @@ def _compile(source: str, c_path: str, so_path: str) -> None:
 
 
 def _build(source: str, name: str, cache_dir: str | None = None) -> CDLL:
-    key = hashlib.sha256(source.encode()).hexdigest()[:16]
+    # the sanitizer flags are part of the artifact identity: a build
+    # with REPRO_SANITIZE set must never reuse an uninstrumented .so
+    # (or vice versa).  Unsanitized builds keep the plain source hash
+    # so existing cached artifacts stay valid.
+    tag = ",".join(resilience.sanitize_modes())
+    keyed = f"sanitize={tag}\x00{source}" if tag else source
+    key = hashlib.sha256(keyed.encode()).hexdigest()[:16]
     if key in _CACHE:
         return _CACHE[key]
     cache_dir = resilience.usable_cache_dir(cache_dir or str(default_cache_dir()))

@@ -402,6 +402,66 @@ def _match_var_reduce(var: EVar, e: E, pname: str):
 
 
 # ----------------------------------------------------------------------
+# the checked (sanitizing) mode
+# ----------------------------------------------------------------------
+class _CheckedArray:
+    """A bounds-verifying proxy over one kernel array.
+
+    The checked Python backend (``REPRO_SANITIZE``) wraps every array
+    parameter in one of these, so *every* subscript the generated code
+    performs — loads, stores, and the ``PSort`` slice — is validated
+    against the allocation.  Out-of-bounds access (including negative
+    indices, which NumPy would silently wrap) raises ``IndexError``
+    naming the kernel, array, index, and length — the Python analogue
+    of an ASan report, with the same fail-loudly contract."""
+
+    __slots__ = ("kernel", "name", "data")
+
+    def __init__(self, kernel: str, name: str, data) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.data = data
+
+    def _fail(self, index: object) -> None:
+        raise IndexError(
+            f"kernel {self.kernel!r}: out-of-bounds access "
+            f"{self.name}[{index}] (length {len(self.data)})"
+        )
+
+    def _check(self, index: object) -> None:
+        n = len(self.data)
+        if isinstance(index, slice):
+            if index.step is not None:
+                self._fail(index)
+            start = 0 if index.start is None else int(index.start)
+            stop = n if index.stop is None else int(index.stop)
+            if not (0 <= start <= n and 0 <= stop <= n):
+                self._fail(index)
+            return
+        if not 0 <= int(index) < n:
+            self._fail(index)
+
+    def __getitem__(self, index):
+        self._check(index)
+        return self.data[index]
+
+    def __setitem__(self, index, value) -> None:
+        self._check(index)
+        self.data[index] = value
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def _checked_preamble(name: str, params: Sequence[Param]) -> str:
+    return "\n".join(
+        f"    {p.name} = _chk({name!r}, {p.name!r}, {p.name})"
+        for p in params
+        if p.kind == "array"
+    )
+
+
+# ----------------------------------------------------------------------
 # kernel object
 # ----------------------------------------------------------------------
 def _collect_ops(p: P, acc: Dict[str, object]) -> None:
@@ -441,13 +501,25 @@ def _collect_ops(p: P, acc: Dict[str, object]) -> None:
 
 
 def emit_kernel_source(
-    name: str, params: Sequence[Param], decls, body: P, vectorize: bool = False
+    name: str,
+    params: Sequence[Param],
+    decls,
+    body: P,
+    vectorize: bool = False,
+    checked: bool = False,
 ) -> str:
     arg_list = ", ".join(p.name for p in params)
     decl_lines = "\n".join(
         f"    {v.name} = " + ("0.0" if v.type == TFLOAT else "False" if v.type == TBOOL else "0")
         for v in decls
     )
+    if checked:
+        # the checked emitter is scalar: vectorized slice expressions
+        # would bypass the per-subscript bounds checks
+        vectorize = False
+        preamble = _checked_preamble(name, params)
+        if preamble:
+            decl_lines = preamble + ("\n" + decl_lines if decl_lines else "")
     return f"def {name}({arg_list}):\n{decl_lines}\n{emit_stmt(body, 1, vectorize)}\n"
 
 
@@ -461,8 +533,11 @@ class PyKernel:
         decls,
         body: P,
         vectorize: bool = False,
+        checked: bool = False,
     ) -> None:
-        source = emit_kernel_source(name, params, decls, body, vectorize=vectorize)
+        source = emit_kernel_source(
+            name, params, decls, body, vectorize=vectorize, checked=checked
+        )
         ops: Dict[str, object] = {}
         _collect_ops(body, ops)
         self._setup(name, params, source, ops)
@@ -482,7 +557,9 @@ class PyKernel:
         self.name = name
         self.params = list(params)
         self._param_names = [p.name for p in self.params]
-        namespace: Dict[str, object] = {"_inf": math.inf, "_np": np}
+        namespace: Dict[str, object] = {
+            "_inf": math.inf, "_np": np, "_chk": _CheckedArray,
+        }
         for op_name, spec in ops.items():
             namespace[f"_op_{op_name}"] = spec
         try:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.compiler.dest import Dest
 from repro.compiler.ir import E, NameGen, P, PAssign, PIf, PSeq, PWhile
 from repro.compiler.sstream import SStream, is_sstream
+from repro.errors import CompileError
 from repro.streams.base import STAR
 
 
@@ -30,7 +31,10 @@ def compile_stream(dest: Dest, s, ng: NameGen) -> P:
     if not is_sstream(s):
         # base case: a scalar expression
         return dest.store(s)
-    assert isinstance(s, SStream)
+    if not isinstance(s, SStream):
+        raise CompileError(
+            f"cannot compile non-stream value {s!r} (is_sstream lied?)"
+        )
     if s.attr is STAR:
         step = s.advance1 if s.advance1 is not None else s.skip1(None)
         hot = PSeq(compile_stream(dest, s.value, ng), step)
@@ -39,7 +43,11 @@ def compile_stream(dest: Dest, s, ng: NameGen) -> P:
         else:
             body = PIf(s.ready, hot, s.skip0(None))
         return PSeq(s.init, PWhile(s.valid, body))
-    assert s.index is not None
+    if s.index is None:
+        raise CompileError(
+            f"stream level {s.attr!r} has no index expression; every "
+            "non-contracted level must produce one"
+        )
     i = ng.fresh(f"ix_{s.attr}")
     pre, sub, post = dest.push(i)
     step = s.advance1 if s.advance1 is not None else s.skip1(i)

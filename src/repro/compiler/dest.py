@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.compiler.analysis.intervals import ArrayContract
 from repro.compiler.ir import (
     E,
     EAccess,
@@ -64,6 +65,16 @@ class Dest:
         """Code a parent level emits when one of its slices completes
         (no-op except for workspace destinations, which flush)."""
         return PSkip()
+
+    def contracts(self) -> List["ArrayContract"]:
+        """The capacity contracts this destination's stores must honor
+        (see :mod:`repro.compiler.analysis.intervals`): only the
+        capacity-managed append arrays, whose writes the emitted code
+        guards by a counter-vs-capacity test.  Dimension-sized arrays
+        (dense outputs, ``DensePosDest`` pos levels, workspace scratch)
+        are bounded by the runtime dimension agreement that
+        ``Kernel._validate_dims`` enforces instead."""
+        return []
 
 
 class ScalarDest(Dest):
@@ -164,6 +175,12 @@ class SparseLeafDest(Dest):
     def setup(self) -> P:
         return PAssign(self.counter, ilit(0))
 
+    def contracts(self) -> List[ArrayContract]:
+        return [
+            ArrayContract(self.crd, self.cap),
+            ArrayContract(self.vals, self.cap),
+        ]
+
 
 class SparseInnerDest(Dest):
     """A non-leaf compressed output level.
@@ -222,6 +239,13 @@ class SparseInnerDest(Dest):
             self.child.setup(),
         )
 
+    def contracts(self) -> List[ArrayContract]:
+        # the pos array is allocated with one extra slot (cap + 1)
+        return [
+            ArrayContract(self.crd, self.cap),
+            ArrayContract(self.child_pos, self.cap, slack=1),
+        ] + self.child.contracts()
+
 
 class DensePosDest(Dest):
     """A dense output level above a compressed one (CSR's row level).
@@ -275,6 +299,10 @@ class DensePosDest(Dest):
 
     def finalize(self) -> P:
         return PSeq(self._fill_to(self.dim), self.child.finalize())
+
+    def contracts(self) -> List[ArrayContract]:
+        # child_pos is sized by the level dimension, not a capacity
+        return self.child.contracts()
 
 
 class WorkspaceLeafDest(Dest):
@@ -365,3 +393,11 @@ class WorkspaceLeafDest(Dest):
     def finalize(self) -> P:
         # if the workspace is the top level, the single slice closes here
         return self.close_slice()
+
+    def contracts(self) -> List[ArrayContract]:
+        # ws_vals/ws_mask/ws_list are dimension-sized scratch, and the
+        # flush loop guards its crd/vals appends by the capacity
+        return [
+            ArrayContract(self.crd, self.cap),
+            ArrayContract(self.vals, self.cap),
+        ]

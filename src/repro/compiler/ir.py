@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
+from repro.errors import ShapeError
+
 # ----------------------------------------------------------------------
 # types
 # ----------------------------------------------------------------------
@@ -20,11 +22,21 @@ TINT = "int"      # 64-bit integer (indices, positions)
 TFLOAT = "float"  # double
 TBOOL = "bool"
 
+#: every valid IR scalar type
+IR_TYPES = (TINT, TFLOAT, TBOOL)
+
 _C_TYPES = {TINT: "int64_t", TFLOAT: "double", TBOOL: "bool"}
 
 
 def c_type(t: str) -> str:
-    return _C_TYPES[t]
+    """The C rendering of an IR type; unknown types are a typed error
+    (a :class:`~repro.errors.ShapeError`), not a bare ``KeyError``."""
+    try:
+        return _C_TYPES[t]
+    except KeyError:
+        raise ShapeError(
+            f"unknown IR type {t!r}; valid types: {', '.join(IR_TYPES)}"
+        ) from None
 
 
 # ----------------------------------------------------------------------
@@ -48,6 +60,19 @@ class Op:
     spec: Callable[..., Any]
     c_expr: Callable[..., str]
     c_header: str = ""
+
+    def __post_init__(self) -> None:
+        for t in self.arg_types:
+            if t not in IR_TYPES:
+                raise ShapeError(
+                    f"op {self.name!r}: argument type {t!r} is not an IR type "
+                    f"(valid: {', '.join(IR_TYPES)})"
+                )
+        if self.ret_type not in IR_TYPES:
+            raise ShapeError(
+                f"op {self.name!r}: return type {self.ret_type!r} is not an "
+                f"IR type (valid: {', '.join(IR_TYPES)})"
+            )
 
     @property
     def arity(self) -> int:
@@ -390,10 +415,24 @@ def fold(e: E) -> E:
 # fresh-name generation
 # ----------------------------------------------------------------------
 class NameGen:
-    """Deterministic fresh-name source (the paper's ``Name`` parameter)."""
+    """Deterministic fresh-name source (the paper's ``Name`` parameter).
 
-    def __init__(self, prefix: str = "") -> None:
-        self._prefix = prefix
+    Every generated temporary carries the reserved prefix
+    :data:`RESERVED_PREFIX` (``_t`` by default), so compiler-introduced
+    names live in a namespace user/source variables can never occupy —
+    :class:`~repro.compiler.kernel.KernelBuilder` rejects user variable
+    names starting with ``_``.  This closes a latent CSE/LICM hazard:
+    a fresh ``cse0``/``inv0`` temporary could previously collide with
+    (and silently shadow) a like-named kernel parameter.
+    """
+
+    #: prefix reserved for compiler-generated temporaries; user-facing
+    #: identifiers (kernel names, variable names, derived parameter
+    #: names) must never start with ``_``
+    RESERVED_PREFIX = "_t"
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        self._prefix = self.RESERVED_PREFIX if prefix is None else prefix
         self._counts: Dict[str, int] = {}
         #: every variable handed out, for declaration at kernel entry
         self.allocated: list = []

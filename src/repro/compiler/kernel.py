@@ -17,6 +17,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.compiler import codegen_c, codegen_py, resilience
+from repro.compiler.analysis.intervals import lint_bounds
 from repro.compiler.cache import kernel_cache, kernel_cache_key
 from repro.compiler.resilience import logger
 from repro.compiler.compile_fn import compile_stream
@@ -41,6 +42,7 @@ from repro.errors import (
     BackendUnavailableError,
     CapacityError,
     CompileError,
+    IRVerifyError,
     ShapeError,
 )
 from repro.lang.ast import Expr
@@ -97,6 +99,7 @@ class Kernel:
         output: Optional[OutputSpec],
         ops: ScalarOps,
         loop_ir,
+        decls: Sequence[EVar] = (),
     ) -> None:
         self.name = name
         self._kernel = backend_kernel
@@ -105,9 +108,22 @@ class Kernel:
         self.output = output
         self.ops = ops
         self.loop_ir = loop_ir
+        #: the compiler-declared locals of ``loop_ir`` (for the verifier)
+        self.decls = list(decls)
         #: dimension of the dense workspace for the last output level,
         #: or None when the output is assembled in iteration order
         self.ws_dim: Optional[int] = None
+        #: the capacity lint's verdict on every store into a
+        #: capacity-managed output array (empty for dense/scalar
+        #: outputs and for kernels restored from the disk cache)
+        self.capacity_findings: list = []
+
+    @property
+    def needs_guard(self) -> bool:
+        """Whether some output store could not be statically proven
+        within its capacity contract — the signal that
+        ``run(auto_grow=True)`` must rely on runtime guards alone."""
+        return any(not f.proven for f in self.capacity_findings)
 
     @property
     def source(self) -> str:
@@ -134,6 +150,21 @@ class Kernel:
         every write by the allocated capacity, so an overflowing run is
         safe — only its size counters run past the end.
         """
+        if auto_grow and self.capacity_findings:
+            if self.needs_guard:
+                unproven = [f for f in self.capacity_findings if not f.proven]
+                logger.debug(
+                    "kernel %r: %d output store(s) not statically proven "
+                    "within capacity (first: %s); auto-grow relies on the "
+                    "runtime guards alone",
+                    self.name, len(unproven), unproven[0],
+                )
+            else:
+                logger.debug(
+                    "kernel %r: all %d output stores statically proven "
+                    "within capacity; auto-grow retries are overflow-safe",
+                    self.name, len(self.capacity_findings),
+                )
         cap = capacity
         while True:
             env = self._marshal_inputs(tensors)
@@ -399,6 +430,7 @@ class KernelBuilder:
         opt_level: int = DEFAULT_OPT_LEVEL,
         vectorize: Optional[bool] = None,
         cache: bool = True,
+        verify: Optional[bool] = None,
     ) -> None:
         if backend not in ("c", "python", "interp"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -408,10 +440,18 @@ class KernelBuilder:
         self.search = search
         self.locate = locate
         self.opt_level = int(opt_level)
-        self.vectorize = backend == "python" and (
-            vectorize if vectorize is not None else self.opt_level > 0
+        self.sanitize = resilience.sanitize_modes()
+        # the checked Python emitter is scalar; vectorized slices would
+        # bypass its per-subscript bounds checks
+        self.vectorize = (
+            backend == "python"
+            and not self.sanitize
+            and (vectorize if vectorize is not None else self.opt_level > 0)
         )
         self.cache = cache
+        #: run the IR verifier after every optimization pass (None =
+        #: the ``REPRO_IR_VERIFY`` environment toggle)
+        self.verify = verify
 
     def build(
         self,
@@ -421,12 +461,18 @@ class KernelBuilder:
         name: str = "kernel",
         attr_dims: Optional[Mapping[str, int]] = None,
     ) -> Kernel:
-        if not _IDENT.match(name):
-            raise ValueError(f"kernel name {name!r} is not a valid identifier")
+        if not _IDENT.match(name) or name.startswith("_"):
+            raise ValueError(
+                f"kernel name {name!r} is not a valid identifier (leading "
+                "underscores are reserved for compiler temporaries)"
+            )
         specs: Dict[str, Union[TensorInput, FunctionInput]] = {}
         for var, binding in inputs.items():
-            if not _IDENT.match(var):
-                raise ValueError(f"variable name {var!r} is not a valid identifier")
+            if not _IDENT.match(var) or var.startswith("_"):
+                raise ValueError(
+                    f"variable name {var!r} is not a valid identifier (leading "
+                    "underscores are reserved for compiler temporaries)"
+                )
             if isinstance(binding, Tensor):
                 specs[var] = TensorInput(var, binding.attrs, binding.formats, self.ops)
             else:
@@ -455,7 +501,7 @@ class KernelBuilder:
                 semiring=self.ops.semiring, backend=self.backend,
                 search=self.search, locate=self.locate,
                 opt_level=self.opt_level, vectorize=self.vectorize,
-                name=name, attr_dims=dims,
+                name=name, attr_dims=dims, sanitize=self.sanitize,
             )
             cached = kernel_cache.lookup(key)
             if cached is not None:
@@ -480,12 +526,22 @@ class KernelBuilder:
             dest.finalize(),
             size_stores,
         )
-        body = optimize(body, ng, self.opt_level)
 
         params: list = []
         for var in sorted(specs):
             params.extend(specs[var].params())
         params.extend(out_params)
+
+        body = optimize(body, ng, self.opt_level,
+                        verify=self.verify, params=params)
+        _check_no_shadowing(name, params, ng)
+
+        findings = lint_bounds(
+            body,
+            dest.contracts(),
+            params=[p.name for p in params],
+            decls=[v.name for v in ng.allocated],
+        )
 
         backend_used = self.backend
         if self.backend == "c":
@@ -501,17 +557,22 @@ class KernelBuilder:
                     name, exc, resilience.ENV_BACKEND_FALLBACK,
                 )
                 backend_kernel = codegen_py.PyKernel(
-                    name, params, ng.allocated, body, vectorize=self.opt_level > 0
+                    name, params, ng.allocated, body,
+                    vectorize=self.opt_level > 0 and not self.sanitize,
+                    checked=bool(self.sanitize),
                 )
                 backend_used = "python"
         elif self.backend == "python":
             backend_kernel = codegen_py.PyKernel(
-                name, params, ng.allocated, body, vectorize=self.vectorize
+                name, params, ng.allocated, body, vectorize=self.vectorize,
+                checked=bool(self.sanitize),
             )
         else:
             backend_kernel = InterpKernel(name, params, ng.allocated, body)
-        kernel = Kernel(name, backend_kernel, params, specs, output, self.ops, body)
+        kernel = Kernel(name, backend_kernel, params, specs, output, self.ops,
+                        body, decls=ng.allocated)
         kernel.ws_dim = output.dims[-1] if workspace else None
+        kernel.capacity_findings = findings
 
         if key is not None:
             kernel_cache.store(key, kernel)
@@ -593,6 +654,33 @@ class KernelBuilder:
                 "source": kernel.source,
                 "ws_dim": kernel.ws_dim,
             },
+        )
+
+
+def _check_no_shadowing(name: str, params: Sequence[Param], ng: NameGen) -> None:
+    """Compiled programs must keep compiler temporaries and user/source
+    names in disjoint namespaces: every generated local carries the
+    reserved ``NameGen.RESERVED_PREFIX`` and no parameter may collide
+    with one.  A violation is a compiler bug, reported as a verifier
+    error rather than silently shadowing."""
+    param_names = {p.name for p in params}
+    collisions = sorted(
+        {v.name for v in ng.allocated} & param_names
+    )
+    if collisions:
+        raise IRVerifyError(
+            f"kernel {name!r}: generated temporaries shadow parameters: "
+            f"{collisions}",
+            violations=collisions,
+        )
+    reserved = sorted(
+        n for n in param_names if n.startswith(NameGen.RESERVED_PREFIX)
+    )
+    if reserved:
+        raise IRVerifyError(
+            f"kernel {name!r}: parameter names {reserved} use the reserved "
+            f"temporary prefix {NameGen.RESERVED_PREFIX!r}",
+            violations=reserved,
         )
 
 
@@ -725,6 +813,7 @@ def compile_kernel(
     opt_level: int = DEFAULT_OPT_LEVEL,
     vectorize: Optional[bool] = None,
     cache: bool = True,
+    verify: Optional[bool] = None,
 ) -> Kernel:
     """One-call convenience wrapper around :class:`KernelBuilder`."""
     if semiring is None:
@@ -736,5 +825,5 @@ def compile_kernel(
             raise ValueError("semiring not given and not inferable from inputs")
     builder = KernelBuilder(ctx, semiring, backend=backend, search=search,
                             locate=locate, opt_level=opt_level,
-                            vectorize=vectorize, cache=cache)
+                            vectorize=vectorize, cache=cache, verify=verify)
     return builder.build(expr, inputs, output, name=name, attr_dims=attr_dims)

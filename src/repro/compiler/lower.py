@@ -117,7 +117,7 @@ def _lower(expr, ctx, inputs, ops, ng, search, attr_dims, locate=True) -> Value:
     if isinstance(expr, Rename):
         body = _lower(expr.body, ctx, inputs, ops, ng, search, attr_dims, locate)
         return _srename(body, expr.mapping, ctx.schema)
-    raise TypeError(f"not a core contraction expression: {expr!r}")
+    raise ShapeError(f"not a core contraction expression: {expr!r}")
 
 
 def _srename(s: Value, mapping: Mapping[str, str], schema: Schema) -> Value:

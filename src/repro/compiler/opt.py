@@ -34,8 +34,18 @@ The pipeline is selected with ``opt_level``:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.compiler.analysis.dataflow import (
+    arrays_read,
+    expr_key,
+    expr_uses,
+    free_vars,
+    live_transfer,
+    stmt_effects,
+    stmt_reads,
+)
+from repro.compiler.analysis.verifier import VerifyContext, check_program
 from repro.compiler.ir import (
     E,
     fold,
@@ -61,99 +71,10 @@ from repro.compiler.ir import (
 
 DEFAULT_OPT_LEVEL = 2
 
-# ----------------------------------------------------------------------
-# structural helpers
-# ----------------------------------------------------------------------
-def expr_key(e: E) -> str:
-    """A structural identity key (E reprs are deterministic and total)."""
-    return repr(e)
-
-
-def expr_uses(e: E, vars_out: Set[str], arrays_out: Set[str]) -> None:
-    """Collect variable names read and arrays read by ``e``."""
-    if isinstance(e, EVar):
-        vars_out.add(e.name)
-    elif isinstance(e, EAccess):
-        arrays_out.add(e.array)
-        expr_uses(e.index, vars_out, arrays_out)
-    elif isinstance(e, EBinop):
-        expr_uses(e.left, vars_out, arrays_out)
-        expr_uses(e.right, vars_out, arrays_out)
-    elif isinstance(e, EUnop):
-        expr_uses(e.operand, vars_out, arrays_out)
-    elif isinstance(e, ECond):
-        expr_uses(e.cond, vars_out, arrays_out)
-        expr_uses(e.then, vars_out, arrays_out)
-        expr_uses(e.els, vars_out, arrays_out)
-    elif isinstance(e, ECall):
-        for a in e.args:
-            expr_uses(a, vars_out, arrays_out)
-
-
-def free_vars(e: E) -> Set[str]:
-    vs: Set[str] = set()
-    expr_uses(e, vs, set())
-    return vs
-
-
-def arrays_read(e: E) -> Set[str]:
-    arrs: Set[str] = set()
-    expr_uses(e, set(), arrs)
-    return arrs
-
-
-def stmt_effects(p: P) -> Tuple[Set[str], Set[str]]:
-    """(variables assigned, arrays stored) anywhere inside ``p``."""
-    assigned: Set[str] = set()
-    stored: Set[str] = set()
-
-    def walk(s: P) -> None:
-        if isinstance(s, PSeq):
-            for item in s.items:
-                walk(item)
-        elif isinstance(s, PAssign):
-            assigned.add(s.var.name)
-        elif isinstance(s, PStore):
-            stored.add(s.array)
-        elif isinstance(s, PSort):
-            stored.add(s.array)
-        elif isinstance(s, PWhile):
-            walk(s.body)
-        elif isinstance(s, PIf):
-            walk(s.then)
-            if s.els is not None:
-                walk(s.els)
-
-    walk(p)
-    return assigned, stored
-
-
-def stmt_reads(p: P) -> Set[str]:
-    """Every variable *read* anywhere inside ``p``."""
-    out: Set[str] = set()
-
-    def walk(s: P) -> None:
-        if isinstance(s, PSeq):
-            for item in s.items:
-                walk(item)
-        elif isinstance(s, PAssign):
-            out.update(free_vars(s.expr))
-        elif isinstance(s, PStore):
-            out.update(free_vars(s.index))
-            out.update(free_vars(s.expr))
-        elif isinstance(s, PSort):
-            out.update(free_vars(s.count))
-        elif isinstance(s, PWhile):
-            out.update(free_vars(s.cond))
-            walk(s.body)
-        elif isinstance(s, PIf):
-            out.update(free_vars(s.cond))
-            walk(s.then)
-            if s.els is not None:
-                walk(s.els)
-
-    walk(p)
-    return out
+# The structural helpers (expr_key/expr_uses/free_vars/arrays_read/
+# stmt_effects/stmt_reads) moved to repro.compiler.analysis.dataflow —
+# the one shared implementation under every pass, the vectorizer, and
+# the verifier.  They are re-exported here for existing importers.
 
 
 def subst_vars(e: E, env: Dict[str, E]) -> E:
@@ -352,12 +273,9 @@ def _dse(p: P, live: Set[str]) -> Tuple[P, Set[str]]:
     if isinstance(p, PAssign):
         if p.var.name not in live:
             return PSkip(), live
-        live = (live - {p.var.name}) | free_vars(p.expr)
-        return p, live
-    if isinstance(p, PStore):
-        return p, live | free_vars(p.index) | free_vars(p.expr)
-    if isinstance(p, PSort):
-        return p, live | free_vars(p.count)
+        return p, live_transfer(p, live)
+    if isinstance(p, (PStore, PSort)):
+        return p, live_transfer(p, live)
     if isinstance(p, PWhile):
         live_in = live | free_vars(p.cond) | stmt_reads(p.body)
         body, _ = _dse(p.body, set(live_in))
@@ -607,15 +525,55 @@ def hoist_loop_invariants(p: P, ng: NameGen) -> P:
 # ----------------------------------------------------------------------
 # the pipeline
 # ----------------------------------------------------------------------
-def optimize(body: P, ng: NameGen, level: int = DEFAULT_OPT_LEVEL) -> P:
-    """Run the pass pipeline selected by ``level`` (see module docs)."""
-    if level <= 0:
-        return body
-    body = simplify(body)
-    if level == 1:
-        return body
-    body = propagate_copies(body)
-    body = hoist_loop_invariants(body, ng)
-    body = eliminate_common_subexprs(body, ng)
-    body = eliminate_dead_stores(body)
-    return simplify(body)
+# Each entry is (pass name, min opt level, runner).  The runners look
+# the pass function up through the module namespace at call time, so
+# tests can monkeypatch an individual pass (fault injection) and the
+# pipeline — and the verifier's blame assignment — picks it up.
+PIPELINE: List[Tuple[str, int, Callable[[P, NameGen], P]]] = [
+    ("simplify", 1, lambda b, ng: simplify(b)),
+    ("copy-prop", 2, lambda b, ng: propagate_copies(b)),
+    ("licm", 2, lambda b, ng: hoist_loop_invariants(b, ng)),
+    ("cse", 2, lambda b, ng: eliminate_common_subexprs(b, ng)),
+    ("dse", 2, lambda b, ng: eliminate_dead_stores(b)),
+    ("final-simplify", 2, lambda b, ng: simplify(b)),
+]
+
+
+def optimize(
+    body: P,
+    ng: NameGen,
+    level: int = DEFAULT_OPT_LEVEL,
+    *,
+    verify: Optional[bool] = None,
+    params: Optional[Sequence[object]] = None,
+) -> P:
+    """Run the pass pipeline selected by ``level`` (see module docs).
+
+    With ``verify=True`` (default: the ``REPRO_IR_VERIFY`` environment
+    toggle) and the kernel's ``params``, the typed IR verifier runs on
+    the input and again after every pass, in strict mode (even a
+    use-before-def *warning* in optimizer output means a pass deleted
+    or reordered a live definition).  A violation raises
+    :class:`~repro.errors.IRVerifyError` naming the offending pass.
+    Verification needs the parameter list to know the typing
+    environment; without ``params`` it is skipped.
+    """
+    if verify is None:
+        from repro.compiler import resilience
+
+        verify = resilience.ir_verify_enabled()
+    checking = bool(verify) and params is not None
+
+    def check(after: str) -> None:
+        if not checking:
+            return
+        ctx = VerifyContext.from_params(params, ng.allocated)
+        check_program(body, ctx, pass_name=after, strict=True)
+
+    check("input")
+    for name, min_level, run in PIPELINE:
+        if level < min_level:
+            continue
+        body = run(body, ng)
+        check(name)
+    return body

@@ -54,15 +54,56 @@ ENV_BACKEND_FALLBACK = "REPRO_BACKEND_FALLBACK"
 ENV_GCC = "REPRO_GCC"
 ENV_GCC_TIMEOUT = "REPRO_GCC_TIMEOUT"
 ENV_MAX_CAPACITY = "REPRO_MAX_CAPACITY"
+ENV_IR_VERIFY = "REPRO_IR_VERIFY"
+ENV_SANITIZE = "REPRO_SANITIZE"
 
 DEFAULT_GCC_TIMEOUT = 120.0
 
 _FALSEY = ("0", "off", "no", "false")
 
+#: sanitizers the build layer knows how to wire up
+KNOWN_SANITIZERS = ("address", "undefined")
+
 
 def fallback_enabled() -> bool:
     """Whether a failed C build may downgrade to the Python backend."""
     return os.environ.get(ENV_BACKEND_FALLBACK, "1").lower() not in _FALSEY
+
+
+def ir_verify_enabled() -> bool:
+    """Whether the optimizer verifies its IR after every pass
+    (``REPRO_IR_VERIFY``, default off; any truthy value enables)."""
+    raw = os.environ.get(ENV_IR_VERIFY, "")
+    return bool(raw) and raw.lower() not in _FALSEY
+
+
+def sanitize_modes() -> tuple:
+    """The requested sanitizers, parsed from ``REPRO_SANITIZE``.
+
+    The value is a comma-separated subset of ``address``/``undefined``
+    (e.g. ``REPRO_SANITIZE=address,undefined``).  Unknown entries are
+    logged and ignored rather than breaking the build.  The C backend
+    maps these to ``-fsanitize=`` flags; the Python backend treats any
+    requested sanitizer as "emit the checked, bounds-verified kernel".
+    """
+    raw = os.environ.get(ENV_SANITIZE, "")
+    if not raw or raw.lower() in _FALSEY:
+        return ()
+    modes = []
+    for part in raw.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        if part not in KNOWN_SANITIZERS:
+            logger.warning(
+                "ignoring unknown sanitizer %r in %s=%r (known: %s)",
+                part, ENV_SANITIZE, raw, ", ".join(KNOWN_SANITIZERS),
+            )
+            continue
+        if part not in modes:
+            modes.append(part)
+    # canonical (sorted) so equivalent spellings share cache keys
+    return tuple(sorted(modes))
 
 
 def toolchain() -> str:
@@ -254,8 +295,13 @@ __all__ = [
     "ENV_GCC",
     "ENV_GCC_TIMEOUT",
     "ENV_MAX_CAPACITY",
+    "ENV_IR_VERIFY",
+    "ENV_SANITIZE",
+    "KNOWN_SANITIZERS",
     "DEFAULT_GCC_TIMEOUT",
     "fallback_enabled",
+    "ir_verify_enabled",
+    "sanitize_modes",
     "toolchain",
     "toolchain_available",
     "reset_probe_cache",

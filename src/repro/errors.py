@@ -98,6 +98,39 @@ class ShapeError(ReproError, TypeError):
     """Raised when an expression or operation is used at the wrong shape."""
 
 
+class IRVerifyError(ReproError):
+    """The IR verifier found an invariant violation in a P/E program.
+
+    Raised by :mod:`repro.compiler.analysis` when a kernel body fails
+    static verification — an ill-typed operator application, an
+    undefined variable, an inconsistent array element type, or (in
+    strict mode) a use-before-def.  When the verifier runs inside the
+    optimization pipeline (``optimize(..., verify=True)`` or
+    ``REPRO_IR_VERIFY=1``), ``pass_name`` attributes the breakage to
+    the pass whose output first failed, turning every miscompiling
+    rewrite into a loud, named failure instead of a wrong answer.
+
+    ``violations`` is the list of :class:`~repro.compiler.analysis.verifier.Issue`
+    objects that triggered the error; ``stmt`` is the repr of the first
+    offending statement.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pass_name: Optional[str] = None,
+        stmt: Optional[str] = None,
+        violations: Sequence[object] = (),
+    ) -> None:
+        if pass_name:
+            message = f"[after pass {pass_name!r}] {message}"
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.stmt = stmt
+        self.violations = list(violations)
+
+
 __all__ = [
     "ReproError",
     "CompileError",
@@ -105,4 +138,5 @@ __all__ = [
     "CacheCorruptionError",
     "CapacityError",
     "ShapeError",
+    "IRVerifyError",
 ]

@@ -126,5 +126,5 @@ def test_fast_path_advance_in_ready_branch():
     x = sparse_vector(N, 0.5, seed=10)
     kernel = compile_kernel(Sum("i", Var("x")), ctx, {"x": x}, name="loc_adv")
     # the sum-all loop body contains `q = q + 1` with no `<=` scan
-    assert "(i_q0 + 1)" in kernel.source
+    assert "(_ti_q0 + 1)" in kernel.source
     assert "<=" not in kernel.source

@@ -14,6 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.compiler.analysis.verifier import verify_kernel
 from repro.compiler.kernel import OutputSpec, compile_kernel
 from repro.data import Tensor
 from repro.krelation import Schema
@@ -103,3 +104,38 @@ def test_opt_level_parity(sr_name, which, backend, data):
         name=f"par2_{which}_{sr_name}_{backend}",
     )
     _assert_equivalent(semiring, k0.run(tensors), k2.run(tensors))
+
+
+def _fixed_tensors(which, semiring):
+    if which == "spmv":
+        ctx = TypeContext(SCHEMA, {"A": {"i", "j"}, "v": {"j"}})
+        A = _tensor(
+            ("i", "j"),
+            {(i, j): semiring.from_int(1 + (i + j) % 3)
+             for i in range(N) for j in range(N) if (i * 5 + j) % 2 == 0},
+            semiring,
+            formats=("dense", "sparse"),
+        )
+        v = _tensor(
+            ("j",), {(j,): semiring.from_int(j + 1) for j in range(N)}, semiring
+        )
+        return ctx, {"A": A, "v": v}
+    ctx = TypeContext(SCHEMA, {"x": {"i"}, "y": {"i"}})
+    data = {(i,): semiring.from_int(i + 1) for i in range(N)}
+    return ctx, {"x": _tensor(("i",), data, semiring),
+                 "y": _tensor(("i",), dict(data), semiring)}
+
+
+@pytest.mark.parametrize("opt_level", (0, 1, 2))
+@pytest.mark.parametrize("which", sorted(EXPRS))
+def test_every_opt_level_verifies_clean(which, opt_level):
+    """The typed IR verifier as a static oracle: the IR the pipeline
+    emits at every opt level satisfies all invariants (and warning-free:
+    no use-before-def in generated code)."""
+    expr, out, _ = EXPRS[which]
+    ctx, tensors = _fixed_tensors(which, FLOAT)
+    kernel = compile_kernel(
+        expr, ctx, tensors, out, backend="interp", opt_level=opt_level,
+        cache=False, name=f"ver{opt_level}_{which}",
+    )
+    assert verify_kernel(kernel) == []

@@ -188,9 +188,9 @@ def test_cse_hoists_repeated_access():
         PAssign(V("y"), ADD(ACC("a", V("i")), ilit(2))),
     )
     q = eliminate_common_subexprs(p, NameGen())
-    assert repr(q.items[0]) == "cse0 = a[i]"
-    assert repr(q.items[1]) == "x = (cse0 + 1)"
-    assert repr(q.items[2]) == "y = (cse0 + 2)"
+    assert repr(q.items[0]) == "_tcse0 = a[i]"
+    assert repr(q.items[1]) == "x = (_tcse0 + 1)"
+    assert repr(q.items[2]) == "y = (_tcse0 + 2)"
     assert_same_behavior(p, q, {"a": np.arange(8), "i": 3, "x": 0, "y": 0})
 
 
@@ -240,7 +240,7 @@ def test_cse_run_equivalence_within_loop_body():
     )
     p = PSeq(PAssign(V("i"), ilit(0)), PWhile(LT(V("i"), ilit(6)), body))
     q = eliminate_common_subexprs(p, NameGen())
-    assert "cse0" in repr(q)
+    assert "_tcse0" in repr(q)
     state = {
         "i": 0,
         "a": np.arange(6),
@@ -262,8 +262,8 @@ def test_licm_hoists_invariant_condition_load():
     p = PWhile(LT(V("q"), ACC("pos", ADD(V("i"), ilit(1)))), body)
     q = hoist_loop_invariants(p, NameGen())
     assert isinstance(q, PSeq)
-    assert repr(q.items[0]) == "inv0 = pos[(i + 1)]"
-    assert repr(q.items[1].cond) == "(q < inv0)"
+    assert repr(q.items[0]) == "_tinv0 = pos[(i + 1)]"
+    assert repr(q.items[1].cond) == "(q < _tinv0)"
     state = {
         "q": 0, "i": 0,
         "pos": np.array([0, 3], dtype=np.int64),
@@ -344,7 +344,7 @@ def test_optimize_pipeline_preserves_semantics():
     assert np.array_equal(s1["o"], s2["o"])
     # the pipeline did real work: dead store gone, bound load hoisted
     assert "dead" not in repr(q)
-    assert "inv0" in repr(q)
+    assert "_tinv0" in repr(q)
 
 
 def test_optimize_level1_only_simplifies():

@@ -6,12 +6,20 @@ emitter everywhere else, and (c) agree with the scalar emitter exactly
 on integer semirings."""
 
 import numpy as np
+import pytest
 
+from repro.compiler import resilience
 from repro.compiler.kernel import OutputSpec, compile_kernel
 from repro.data import Tensor
 from repro.krelation import Schema
 from repro.lang import Sum, TypeContext, Var
 from repro.semirings import INT, MIN_PLUS
+
+pytestmark = pytest.mark.skipif(
+    bool(resilience.sanitize_modes()),
+    reason="REPRO_SANITIZE switches the Python backend to the checked "
+    "scalar emitter; the vectorizer is deliberately disabled",
+)
 
 N = 16
 SCHEMA = Schema.of(i=range(N), j=range(N))
