@@ -355,6 +355,39 @@ def ablations(quick: bool) -> None:
           f"-> fusion {t_unfused/t_fused:.1f}x faster")
 
 
+def parallel(quick: bool) -> None:
+    import os
+
+    from repro.compiler.kernel import OutputSpec, compile_kernel
+    from repro.krelation import Schema
+    from repro.lang import Sum, TypeContext, Var
+    from repro.workloads import dense_matrix, sparse_matrix
+
+    header(f"Parallel runtime: sharded matmul scaling "
+           f"({os.cpu_count()} CPU(s); REPRO_PARALLEL/REPRO_WORKERS)")
+    n = 2000 if quick else 4000
+    k = 256 if quick else 512
+    A = sparse_matrix(n, n, 0.02, attrs=("i", "j"), seed=3)
+    B = dense_matrix(n, k, attrs=("j", "k"), seed=4)
+    ctx = TypeContext(Schema.of(i=None, j=None, k=None),
+                      {"A": {"i", "j"}, "B": {"j", "k"}})
+    kernel = compile_kernel(
+        Sum("j", Var("A") * Var("B")), ctx, {"A": A, "B": B},
+        OutputSpec(("i", "k"), ("dense", "dense"), (n, k)),
+        name="report_par_matmul",
+    )
+    tensors = {"A": A, "B": B}
+    base = timeit(lambda: kernel._run_single(tensors))
+    print(f"{'configuration':<28}{'ms':>10}{'speedup':>10}")
+    print(f"{'unsharded':<28}{base*1e3:>10.2f}{1.0:>10.2f}")
+    for executor in ("serial", "thread", "process"):
+        for w in (2, 4):
+            t = timeit(lambda: kernel.run_sharded(
+                tensors, executor=executor, workers=w, shards=w))
+            print(f"{executor + ' x' + str(w):<28}{t*1e3:>10.2f}"
+                  f"{base/t:>10.2f}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true",
@@ -366,6 +399,7 @@ def main() -> None:
     fig20(args.quick)
     fig21(args.quick)
     ablations(args.quick)
+    parallel(args.quick)
 
 
 if __name__ == "__main__":

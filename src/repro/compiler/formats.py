@@ -66,6 +66,23 @@ class TensorInput:
     def rank(self) -> int:
         return len(self.attrs)
 
+    def split_kind(self, attr: str) -> Optional[str]:
+        """How this operand participates in a shard split on ``attr``.
+
+        Returns ``"whole"`` when the operand does not mention ``attr``
+        (every shard reads it unchanged), ``"outer"`` when ``attr`` is
+        the outermost level (the operand can be row-block sliced with
+        :meth:`repro.data.tensor.Tensor.slice_outer`), and ``None`` when
+        ``attr`` sits at an inner level — such an operand cannot be
+        partitioned without re-formatting, so the planner must reject
+        the candidate split index.
+        """
+        if attr not in self.attrs:
+            return "whole"
+        if self.attrs[0] == attr:
+            return "outer"
+        return None
+
     def params(self) -> List[Param]:
         out: List[Param] = []
         for k, fmt in enumerate(self.formats):
@@ -142,6 +159,13 @@ class FunctionInput:
 
     def params(self) -> List[Param]:
         return []
+
+    def split_kind(self, attr: str) -> Optional[str]:
+        """Function streams evaluate at *absolute* indices, but shard
+        slicing rebases the split attribute to a local window — so a
+        function input is only compatible with splits on attributes it
+        does not mention."""
+        return "whole" if attr not in self.attrs else None
 
     def sstream(self, ng: NameGen, search: str = "linear") -> Value:
         def build(level: int, idxs: Tuple[E, ...]) -> Value:

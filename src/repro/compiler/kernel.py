@@ -87,6 +87,54 @@ class OutputSpec:
 InputLike = Union[Tensor, TensorInput, FunctionInput]
 
 
+@dataclass(frozen=True)
+class KernelRecipe:
+    """Everything needed to rebuild a kernel in another process.
+
+    The parallel runtime's process workers never receive the compiled
+    kernel itself (a ctypes handle to a ``.so`` cannot be pickled, and
+    shipping generated code would bypass the cache).  They receive this
+    recipe — plain picklable data — and replay ``KernelBuilder.build``,
+    which lands on the two-tier kernel cache: the in-memory memo within
+    a worker, the on-disk source payload (and the ``.so`` cache) across
+    workers, so a warm-cache rebuild never re-lowers or re-compiles.
+
+    Only kernels whose inputs are all :class:`TensorInput` get a recipe;
+    :class:`FunctionInput` bindings hold arbitrary Python callables and
+    are flagged by ``KernelBuilder`` with ``recipe = None`` (the process
+    executor then downgrades to threads).
+    """
+
+    expr: Expr
+    ctx: TypeContext
+    input_structure: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...]
+    output: Optional[OutputSpec]
+    semiring: Semiring
+    backend: str
+    search: str
+    locate: bool
+    opt_level: int
+    vectorize: Optional[bool]
+    name: str
+    attr_dims: Tuple[Tuple[str, int], ...]
+
+    def build(self) -> "Kernel":
+        """Rebuild the kernel (hits the two-tier cache when warm)."""
+        builder = KernelBuilder(
+            self.ctx, self.semiring, backend=self.backend, search=self.search,
+            locate=self.locate, opt_level=self.opt_level,
+            vectorize=self.vectorize,
+        )
+        specs: Dict[str, Union[TensorInput, FunctionInput]] = {
+            var: TensorInput(var, attrs, formats, builder.ops)
+            for var, attrs, formats in self.input_structure
+        }
+        return builder.build(
+            self.expr, specs, self.output, name=self.name,
+            attr_dims=dict(self.attr_dims),
+        )
+
+
 class Kernel:
     """A compiled contraction kernel."""
 
@@ -117,6 +165,17 @@ class Kernel:
         #: capacity-managed output array (empty for dense/scalar
         #: outputs and for kernels restored from the disk cache)
         self.capacity_findings: list = []
+        #: picklable rebuild instructions for process workers, attached
+        #: by :class:`KernelBuilder` (None when an input is a
+        #: :class:`FunctionInput`)
+        self.recipe: Optional[KernelRecipe] = None
+        #: default executor for :meth:`run` ("serial" | "thread" |
+        #: "process"), set from ``compile_kernel(parallel=...)``; None
+        #: defers to the ``REPRO_PARALLEL`` environment knob
+        self.parallel: Optional[str] = None
+        self.workers: Optional[int] = None
+        #: per-shard timing/volume stats from the last sharded run
+        self.last_shard_stats: list = []
 
     @property
     def needs_guard(self) -> bool:
@@ -137,9 +196,21 @@ class Kernel:
         *,
         auto_grow: bool = False,
         max_capacity: Optional[int] = None,
+        parallel: Optional[Union[str, bool]] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> Union[Tensor, float, int, bool]:
         """Execute on concrete tensors; returns the output tensor (or a
         scalar for shape-∅ kernels).
+
+        ``parallel`` selects a shard executor (``"serial"``,
+        ``"thread"``, ``"process"``); ``None`` defers first to the
+        kernel's compiled-in default and then to the ``REPRO_PARALLEL``
+        environment knob, and ``False`` forces a single-shard in-process
+        run regardless of either.  Sharded execution partitions the
+        operands along one index, runs this same kernel per shard, and
+        ⊕-merges the partials (see :mod:`repro.runtime`); when no index
+        is splittable it quietly degrades to the single run.
 
         With ``auto_grow=True`` an undersized sparse output no longer
         raises: the run is retried with geometrically doubled capacity
@@ -150,6 +221,35 @@ class Kernel:
         every write by the allocated capacity, so an overflowing run is
         safe — only its size counters run past the end.
         """
+        if parallel is None:
+            backend_choice = self.parallel or resilience.parallel_backend()
+        elif parallel is False:
+            backend_choice = None
+        else:
+            backend_choice = parallel
+        if backend_choice:
+            return self.run_sharded(
+                tensors,
+                capacity=capacity,
+                auto_grow=auto_grow,
+                max_capacity=max_capacity,
+                executor=backend_choice,
+                workers=workers if workers is not None else self.workers,
+                shards=shards,
+            )
+        return self._run_single(
+            tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity
+        )
+
+    def _run_single(
+        self,
+        tensors: Mapping[str, Tensor],
+        capacity: Optional[int] = None,
+        *,
+        auto_grow: bool = False,
+        max_capacity: Optional[int] = None,
+    ) -> Union[Tensor, float, int, bool]:
+        """The unsharded execution path (also each shard's body)."""
         if auto_grow and self.capacity_findings:
             if self.needs_guard:
                 unproven = [f for f in self.capacity_findings if not f.proven]
@@ -203,6 +303,83 @@ class Kernel:
             return env_bound
         out = self.output
         return int(np.prod(out.dims)) if out is not None and out.dims else 1
+
+    # ------------------------------------------------------------------
+    # sharded execution (repro.runtime)
+    # ------------------------------------------------------------------
+    def with_output_dims(self, dims: Sequence[int]) -> "Kernel":
+        """A shallow clone whose :class:`OutputSpec` has ``dims``.
+
+        Every output dimension is a *runtime* parameter of the compiled
+        artifact (``out_dim*`` scalars / allocation sizes), so the clone
+        shares the backend kernel object — no recompilation.  The shard
+        runtime uses this to give each free-split shard a shard-sized
+        output window.
+        """
+        if self.output is None:
+            raise ShapeError("scalar kernels have no output dims to override")
+        dims = tuple(int(d) for d in dims)
+        if len(dims) != len(self.output.dims):
+            raise ShapeError(
+                f"expected {len(self.output.dims)} output dims, got {len(dims)}"
+            )
+        clone = Kernel(
+            self.name, self._kernel, self.params, self.input_specs,
+            OutputSpec(self.output.attrs, self.output.formats, dims),
+            self.ops, self.loop_ir, decls=self.decls,
+        )
+        clone.ws_dim = self.ws_dim
+        clone.capacity_findings = self.capacity_findings
+        clone.recipe = self.recipe
+        return clone
+
+    def run_sharded(
+        self,
+        tensors: Mapping[str, Tensor],
+        capacity: Optional[int] = None,
+        *,
+        auto_grow: bool = False,
+        max_capacity: Optional[int] = None,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        split_attr: Optional[str] = None,
+    ) -> Union[Tensor, float, int, bool]:
+        """Partition the operands, execute per shard, ⊕-merge.
+
+        Delegates to :func:`repro.runtime.api.run_sharded`; falls back
+        to the single-shard path when no split index qualifies.
+        """
+        from repro.runtime.api import run_sharded as _run_sharded
+
+        return _run_sharded(
+            self, tensors, capacity=capacity, auto_grow=auto_grow,
+            max_capacity=max_capacity, executor=executor, workers=workers,
+            shards=shards, split_attr=split_attr,
+        )
+
+    def run_batch(
+        self,
+        runs: Sequence[Mapping[str, Tensor]],
+        capacity: Optional[int] = None,
+        *,
+        auto_grow: bool = False,
+        max_capacity: Optional[int] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> list:
+        """Execute this kernel over many independent input bindings.
+
+        The batch API for many small kernels: no sharding or merging,
+        just the executor's bounded queue amortized across ``runs``.
+        Results are returned in input order.
+        """
+        from repro.runtime.api import run_batch as _run_batch
+
+        return _run_batch(
+            self, runs, capacity=capacity, auto_grow=auto_grow,
+            max_capacity=max_capacity, executor=executor, workers=workers,
+        )
 
     def _marshal_inputs(self, tensors: Mapping[str, Tensor]) -> Dict[str, object]:
         env: Dict[str, object] = {}
@@ -417,7 +594,10 @@ class KernelBuilder:
     ``vectorize`` controls the Python backend's NumPy slice emitter
     (default: on whenever ``opt_level > 0``; ignored by other
     backends).  ``cache`` enables the two-tier build cache of
-    :mod:`repro.compiler.cache`.
+    :mod:`repro.compiler.cache`.  ``parallel``/``workers`` stamp the
+    built kernel's default shard executor (a run-time property, not
+    part of the cache key: rebuilding a cached kernel with different
+    parallel settings re-stamps the shared object).
     """
 
     def __init__(
@@ -431,6 +611,8 @@ class KernelBuilder:
         vectorize: Optional[bool] = None,
         cache: bool = True,
         verify: Optional[bool] = None,
+        parallel: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if backend not in ("c", "python", "interp"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -452,6 +634,13 @@ class KernelBuilder:
         #: run the IR verifier after every optimization pass (None =
         #: the ``REPRO_IR_VERIFY`` environment toggle)
         self.verify = verify
+        if parallel is not None and parallel not in resilience.KNOWN_EXECUTORS:
+            raise ValueError(
+                f"unknown parallel executor {parallel!r}; expected one of "
+                f"{resilience.KNOWN_EXECUTORS}"
+            )
+        self.parallel = parallel
+        self.workers = workers
 
     def build(
         self,
@@ -505,11 +694,11 @@ class KernelBuilder:
             )
             cached = kernel_cache.lookup(key)
             if cached is not None:
-                return cached
+                return self._attach_runtime(cached, expr, specs, output, name, dims)
             restored = self._from_payload(key, specs, output)
             if restored is not None:
                 kernel_cache.store(key, restored)
-                return restored
+                return self._attach_runtime(restored, expr, specs, output, name, dims)
             kernel_cache.record_miss()
 
         ng = NameGen()
@@ -577,6 +766,47 @@ class KernelBuilder:
         if key is not None:
             kernel_cache.store(key, kernel)
             self._store_payload(key, kernel, body, backend_used)
+        return self._attach_runtime(kernel, expr, specs, output, name, dims)
+
+    def _attach_runtime(
+        self,
+        kernel: Kernel,
+        expr: Expr,
+        specs: Dict[str, Union[TensorInput, FunctionInput]],
+        output: Optional[OutputSpec],
+        name: str,
+        attr_dims: Dict[str, int],
+    ) -> Kernel:
+        """Stamp the rebuild recipe and shard-executor defaults.
+
+        Runs on every return path of :meth:`build` (memo hit, payload
+        restore, fresh build) so cache-restored kernels are just as
+        shardable as fresh ones.  ``FunctionInput`` bindings hold
+        arbitrary callables and cannot cross a process boundary, so
+        such kernels get no recipe.
+        """
+        if kernel.recipe is None and all(
+            isinstance(s, TensorInput) for s in specs.values()
+        ):
+            kernel.recipe = KernelRecipe(
+                expr=expr,
+                ctx=self.ctx,
+                input_structure=tuple(
+                    (var, specs[var].attrs, specs[var].formats)
+                    for var in sorted(specs)
+                ),
+                output=output,
+                semiring=self.ops.semiring,
+                backend=self.backend,
+                search=self.search,
+                locate=self.locate,
+                opt_level=self.opt_level,
+                vectorize=self.vectorize,
+                name=name,
+                attr_dims=tuple(sorted(attr_dims.items())),
+            )
+        kernel.parallel = self.parallel
+        kernel.workers = self.workers
         return kernel
 
     # ------------------------------------------------------------------
@@ -814,6 +1044,8 @@ def compile_kernel(
     vectorize: Optional[bool] = None,
     cache: bool = True,
     verify: Optional[bool] = None,
+    parallel: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Kernel:
     """One-call convenience wrapper around :class:`KernelBuilder`."""
     if semiring is None:
@@ -825,5 +1057,6 @@ def compile_kernel(
             raise ValueError("semiring not given and not inferable from inputs")
     builder = KernelBuilder(ctx, semiring, backend=backend, search=search,
                             locate=locate, opt_level=opt_level,
-                            vectorize=vectorize, cache=cache, verify=verify)
+                            vectorize=vectorize, cache=cache, verify=verify,
+                            parallel=parallel, workers=workers)
     return builder.build(expr, inputs, output, name=name, attr_dims=attr_dims)

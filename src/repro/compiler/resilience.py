@@ -47,8 +47,38 @@ try:  # POSIX advisory locks; Windows falls back to O_EXCL spinning
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
+#: name of the default handler :func:`_get_logger` installs exactly once
+_HANDLER_NAME = "repro-default"
+
+
+def _get_logger(name: str = "repro") -> logging.Logger:
+    """The shared ``repro`` logger, with its default handler installed
+    *idempotently*.
+
+    Worker processes of the parallel runtime re-enter this module —
+    spawned workers by re-importing it, forked workers by inheriting the
+    parent's already-configured logger and then running their own
+    initializer.  Naively calling ``addHandler`` on each entry would
+    stack duplicate handlers and every warning would print once per
+    (re-)initialization.  Handlers are therefore deduplicated by name:
+    if a handler called ``repro-default`` is already attached, the
+    logger is returned untouched.
+    """
+    log = logging.getLogger(name)
+    for handler in log.handlers:
+        if getattr(handler, "name", None) == _HANDLER_NAME:
+            return log
+    handler = logging.StreamHandler()
+    handler.name = _HANDLER_NAME
+    handler.setFormatter(
+        logging.Formatter("[%(processName)s] %(name)s %(levelname)s: %(message)s")
+    )
+    log.addHandler(handler)
+    return log
+
+
 #: the package-wide logger every fallback/recovery path reports through
-logger = logging.getLogger("repro")
+logger = _get_logger()
 
 ENV_BACKEND_FALLBACK = "REPRO_BACKEND_FALLBACK"
 ENV_GCC = "REPRO_GCC"
@@ -56,6 +86,9 @@ ENV_GCC_TIMEOUT = "REPRO_GCC_TIMEOUT"
 ENV_MAX_CAPACITY = "REPRO_MAX_CAPACITY"
 ENV_IR_VERIFY = "REPRO_IR_VERIFY"
 ENV_SANITIZE = "REPRO_SANITIZE"
+ENV_PARALLEL = "REPRO_PARALLEL"
+ENV_WORKERS = "REPRO_WORKERS"
+ENV_MP_START = "REPRO_MP_START"
 
 DEFAULT_GCC_TIMEOUT = 120.0
 
@@ -63,6 +96,9 @@ _FALSEY = ("0", "off", "no", "false")
 
 #: sanitizers the build layer knows how to wire up
 KNOWN_SANITIZERS = ("address", "undefined")
+
+#: executor backends of :mod:`repro.runtime` selectable via REPRO_PARALLEL
+KNOWN_EXECUTORS = ("serial", "thread", "process")
 
 
 def fallback_enabled() -> bool:
@@ -104,6 +140,61 @@ def sanitize_modes() -> tuple:
             modes.append(part)
     # canonical (sorted) so equivalent spellings share cache keys
     return tuple(sorted(modes))
+
+
+def parallel_backend() -> Optional[str]:
+    """The executor the sharded runtime should default to.
+
+    ``REPRO_PARALLEL`` selects one of ``serial``/``thread``/``process``
+    (``serial`` shards and merges but runs shards inline — the debug
+    oracle).  Unset, empty, or falsey means "no sharding": every
+    ``Kernel.run`` stays the single-shot fused kernel.  An unknown value
+    is logged and ignored rather than breaking execution.
+    """
+    raw = os.environ.get(ENV_PARALLEL, "").strip().lower()
+    if not raw or raw in _FALSEY:
+        return None
+    if raw not in KNOWN_EXECUTORS:
+        logger.warning(
+            "ignoring unknown executor %s=%r (known: %s)",
+            ENV_PARALLEL, raw, ", ".join(KNOWN_EXECUTORS),
+        )
+        return None
+    return raw
+
+
+def worker_count(default: Optional[int] = None) -> int:
+    """Worker count for parallel executors (``REPRO_WORKERS`` override,
+    then ``default``, then the machine's CPU count)."""
+    raw = os.environ.get(ENV_WORKERS)
+    if raw:
+        try:
+            value = int(raw)
+            if value > 0:
+                return value
+            logger.warning("ignoring non-positive %s=%r", ENV_WORKERS, raw)
+        except ValueError:
+            logger.warning("ignoring non-numeric %s=%r", ENV_WORKERS, raw)
+    if default is not None:
+        return int(default)
+    return max(1, os.cpu_count() or 1)
+
+
+def mp_start_method() -> str:
+    """The multiprocessing start method for process workers.
+
+    Defaults to ``spawn``: workers then genuinely rebuild their kernels
+    from the on-disk cache tier (a forked worker would inherit the
+    parent's in-memory memo, hiding cold-start bugs), and the ctypes
+    handles of loaded ``.so`` files are never shared across a fork.
+    ``REPRO_MP_START=fork`` opts into the faster fork start on POSIX.
+    """
+    raw = os.environ.get(ENV_MP_START, "").strip().lower()
+    if raw in ("fork", "spawn", "forkserver"):
+        return raw
+    if raw:
+        logger.warning("ignoring unknown start method %s=%r", ENV_MP_START, raw)
+    return "spawn"
 
 
 def toolchain() -> str:
@@ -297,8 +388,15 @@ __all__ = [
     "ENV_MAX_CAPACITY",
     "ENV_IR_VERIFY",
     "ENV_SANITIZE",
+    "ENV_PARALLEL",
+    "ENV_WORKERS",
+    "ENV_MP_START",
     "KNOWN_SANITIZERS",
+    "KNOWN_EXECUTORS",
     "DEFAULT_GCC_TIMEOUT",
+    "parallel_backend",
+    "worker_count",
+    "mp_start_method",
     "fallback_enabled",
     "ir_verify_enabled",
     "sanitize_modes",

@@ -148,6 +148,74 @@ class Tensor:
         return cls(attrs, formats, dims, pos, crd, vals, semiring)
 
     # ------------------------------------------------------------------
+    # shard slicing (the parallel runtime's operand partitioner)
+    # ------------------------------------------------------------------
+    def slice_outer(self, lo: int, hi: int) -> "Tensor":
+        """Restrict the outermost level to coordinates ``[lo, hi)``.
+
+        Returns a tensor of the same attrs/formats whose outer dimension
+        is ``hi - lo`` and whose outer coordinates are rebased to the
+        local window (``i`` becomes ``i - lo``).  All leaf values and
+        inner coordinate arrays are numpy *slices* of this tensor's
+        arrays; only the outer ``crd`` and the first sparse ``pos``
+        below the cut need an O(rows) rebase.  This is the row-block
+        partitioning the shard planner feeds to per-shard kernel runs.
+        """
+        lo, hi = int(lo), int(hi)
+        if not (0 <= lo <= hi <= self.dims[0]):
+            raise ValueError(
+                f"slice [{lo}, {hi}) out of range for outer dimension "
+                f"{self.dims[0]}"
+            )
+        dims = (hi - lo,) + self.dims[1:]
+        pos: Dict[int, np.ndarray] = {}
+        crd: Dict[int, np.ndarray] = {}
+        if self.formats[0] == "dense":
+            s_lo, s_hi = lo, hi
+        else:
+            c0 = self.crd[0]
+            a = int(np.searchsorted(c0, lo, side="left"))
+            b = int(np.searchsorted(c0, hi, side="left"))
+            crd[0] = c0[a:b] - lo
+            pos[0] = np.array([0, b - a], dtype=np.int64)
+            s_lo, s_hi = a, b
+        for k in range(1, self.order):
+            if self.formats[k] == "dense":
+                s_lo *= self.dims[k]
+                s_hi *= self.dims[k]
+            else:
+                pk = self.pos[k]
+                base = int(pk[s_lo])
+                pos[k] = pk[s_lo : s_hi + 1] - base
+                s_lo, s_hi = base, int(pk[s_hi])
+                crd[k] = self.crd[k][s_lo:s_hi]
+        vals = self.vals[s_lo:s_hi]
+        return Tensor(self.attrs, self.formats, dims, pos, crd, vals, self.semiring)
+
+    def outer_weights(self) -> np.ndarray:
+        """Leaf-slot count per outer *coordinate* (length ``dims[0]``).
+
+        For CSR-style storage this is the classic per-row nnz histogram
+        (``np.diff(pos[1])``); deeper level stacks chain each level's
+        ``pos`` (or multiply dense dims) down to the leaves.  The shard
+        planner balances these weights across shards.
+        """
+        d0 = self.dims[0]
+        n0 = d0 if self.formats[0] == "dense" else len(self.crd[0])
+        bounds = np.arange(n0 + 1, dtype=np.int64)
+        for k in range(1, self.order):
+            if self.formats[k] == "dense":
+                bounds = bounds * self.dims[k]
+            else:
+                bounds = self.pos[k][bounds]
+        counts = np.diff(bounds)
+        if self.formats[0] == "dense":
+            return counts.astype(np.int64)
+        weights = np.zeros(d0, dtype=np.int64)
+        weights[self.crd[0]] = counts
+        return weights
+
+    # ------------------------------------------------------------------
     def to_dict(self) -> Dict[Tuple[int, ...], Any]:
         """All stored (coordinate, value) pairs with nonzero value."""
         out: Dict[Tuple[int, ...], Any] = {}

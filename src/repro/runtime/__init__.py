@@ -1,0 +1,51 @@
+"""Sharded parallel execution runtime.
+
+Contraction programs are semiring homomorphisms (Theorem 6.1): a
+contraction over an index ``i`` is a ⊕-reduction, so evaluating the
+same kernel on a partition of ``i``'s range and combining the partial
+results with ⊕ (for contracted indices) or concatenation (for free
+indices) is exact — not an approximation — in every semiring.  This
+package exploits that:
+
+- :mod:`repro.runtime.planner` picks a split index and nnz-balanced
+  range boundaries from the operands' position arrays;
+- :mod:`repro.runtime.executor` runs shard tasks on one of three
+  backends (``serial`` | ``thread`` | ``process``) behind a single
+  futures API with a bounded task queue;
+- :mod:`repro.runtime.merge` combines the partial outputs
+  semiring-correctly;
+- :mod:`repro.runtime.api` glues them under
+  :meth:`repro.compiler.kernel.Kernel.run_sharded` and the
+  ``REPRO_PARALLEL`` / ``REPRO_WORKERS`` environment knobs.
+"""
+
+from repro.runtime.api import run_batch, run_sharded
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    discard_shared_executor,
+    get_executor,
+    get_shared_executor,
+    shutdown_shared_executors,
+)
+from repro.runtime.merge import merge_partials
+from repro.runtime.planner import ShardPlan, plan_shards, slice_operands
+
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardPlan",
+    "ThreadExecutor",
+    "discard_shared_executor",
+    "get_executor",
+    "get_shared_executor",
+    "merge_partials",
+    "plan_shards",
+    "run_batch",
+    "run_sharded",
+    "shutdown_shared_executors",
+    "slice_operands",
+]

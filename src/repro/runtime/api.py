@@ -1,0 +1,255 @@
+"""Sharded execution: plan → schedule → merge.
+
+:func:`run_sharded` is the engine behind
+:meth:`repro.compiler.kernel.Kernel.run_sharded` and the
+``REPRO_PARALLEL`` environment routing; :func:`run_batch` runs one
+kernel over many independent input bindings (the many-small-kernels
+case where sharding a single run is not worth it but the pool is).
+
+Per-shard resilience mirrors the build-time story of
+:mod:`repro.compiler.resilience`: a shard that fails on its executor
+(a crashed worker process, an unpicklable surprise, a transient OS
+error) is retried once in the parent on the serial path, with a logged
+warning — the parallel runtime degrades toward the oracle rather than
+failing the whole run.  Genuine kernel errors (shape mismatches,
+capacity exhaustion with ``auto_grow`` off) reproduce identically on
+the retry and surface to the caller as they would on a serial run.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor, Future
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Union
+
+from repro.compiler import resilience
+from repro.compiler.resilience import logger
+from repro.data.tensor import Tensor
+from repro.runtime import worker as worker_mod
+from repro.runtime.executor import discard_shared_executor, get_shared_executor
+from repro.runtime.merge import merge_partials
+from repro.runtime.planner import plan_shards, slice_operands
+
+
+@dataclass(frozen=True)
+class ShardStat:
+    """Timing/volume record for one shard (or one batch item)."""
+
+    index: int
+    lo: int
+    hi: int
+    seconds: float
+    bytes_in: int
+    worker: Union[int, str]     # pid (process) or a backend tag
+    retried: bool = False
+
+
+def _operand_bytes(tensors: Mapping[str, Tensor]) -> int:
+    total = 0
+    for t in tensors.values():
+        total += int(t.vals.nbytes)
+        total += sum(int(a.nbytes) for a in t.pos.values())
+        total += sum(int(a.nbytes) for a in t.crd.values())
+    return total
+
+
+def _local_task(kernel, tensors, capacity, auto_grow, max_capacity):
+    start = time.perf_counter()
+    result = kernel._run_single(
+        tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity
+    )
+    return result, time.perf_counter() - start, "local"
+
+
+def _submit(ex, fn, *args) -> Future:
+    """Submit, turning a submit-time failure into a pre-failed future.
+
+    A pool can be broken *before* any task runs (a worker killed under a
+    previous call leaves :class:`BrokenExecutor` raising from ``submit``
+    itself); routing the failure through a future lets the collection
+    loop's per-shard retry handle it like any worker-side crash.
+    """
+    try:
+        return ex.submit(fn, *args)
+    except Exception as exc:
+        future: Future = Future()
+        future.set_exception(exc)
+        return future
+
+
+def _maybe_discard(ex, exc: Exception) -> None:
+    if isinstance(exc, BrokenExecutor):
+        logger.warning(
+            "the shared %s pool is broken; discarding it (a fresh pool "
+            "is built on next use)", ex.name,
+        )
+        discard_shared_executor(ex)
+
+
+def _resolve_executor(kernel, executor: str) -> str:
+    """Downgrade ``process`` when the kernel cannot cross a process
+    boundary (no recipe: a FunctionInput binding holds an arbitrary
+    callable)."""
+    if executor == "process" and kernel.recipe is None:
+        logger.warning(
+            "kernel %r has no rebuild recipe (function-valued input); "
+            "downgrading the process executor to threads", kernel.name,
+        )
+        return "thread"
+    return executor
+
+
+def run_sharded(
+    kernel,
+    tensors: Mapping[str, Tensor],
+    *,
+    capacity: Optional[int] = None,
+    auto_grow: bool = False,
+    max_capacity: Optional[int] = None,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    split_attr: Optional[str] = None,
+):
+    """Partition one kernel run into shards, execute, and ⊕-merge.
+
+    Degrades to the plain single run when no split index qualifies or
+    the plan collapses to one shard; an explicit ``split_attr`` that is
+    not splittable raises instead.  ``shards`` defaults to the worker
+    count.  Per-shard stats land on ``kernel.last_shard_stats``.
+    """
+    n_workers = resilience.worker_count(workers)
+    n_shards = int(shards) if shards is not None else n_workers
+    plan = plan_shards(kernel, tensors, n_shards, split_attr=split_attr)
+    if plan is None or plan.shards <= 1:
+        logger.debug(
+            "kernel %r: no multi-shard plan (%s); running unsharded",
+            kernel.name,
+            "no splittable index" if plan is None else "single shard",
+        )
+        return kernel._run_single(
+            tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity
+        )
+
+    executor = _resolve_executor(kernel, executor)
+    out = kernel.output
+    shard_inputs: List[Mapping[str, Tensor]] = []
+    shard_kernels: List[object] = []
+    shard_dims: List[Optional[Sequence[int]]] = []
+    for lo, hi in plan.ranges:
+        shard_inputs.append(slice_operands(kernel, tensors, plan, lo, hi))
+        if plan.kind == "free":
+            dims = (hi - lo,) + tuple(out.dims[1:])
+            shard_dims.append(dims)
+            shard_kernels.append(kernel.with_output_dims(dims))
+        else:
+            shard_dims.append(None)
+            shard_kernels.append(kernel)
+
+    partials: List[object] = []
+    stats: List[ShardStat] = []
+    ex = get_shared_executor(executor, n_workers)
+    futures = []
+    for sk, st, dims in zip(shard_kernels, shard_inputs, shard_dims):
+        if ex.name == "process":
+            futures.append(_submit(
+                ex, worker_mod.run_shard_task, kernel.recipe, st, dims,
+                capacity, auto_grow, max_capacity,
+            ))
+        else:
+            futures.append(_submit(
+                ex, _local_task, sk, st, capacity, auto_grow, max_capacity,
+            ))
+    for i, (fut, (lo, hi)) in enumerate(zip(futures, plan.ranges)):
+        retried = False
+        try:
+            result, seconds, who = fut.result()
+        except Exception as exc:
+            logger.warning(
+                "shard %d/%d of kernel %r failed on the %s executor "
+                "(%s: %s); retrying in-process",
+                i + 1, plan.shards, kernel.name, executor,
+                type(exc).__name__, exc,
+            )
+            _maybe_discard(ex, exc)
+            retried = True
+            result, seconds, who = _local_task(
+                shard_kernels[i], shard_inputs[i],
+                capacity, auto_grow, max_capacity,
+            )
+        partials.append(result)
+        stats.append(ShardStat(
+            index=i, lo=lo, hi=hi, seconds=seconds,
+            bytes_in=_operand_bytes(shard_inputs[i]),
+            worker=who, retried=retried,
+        ))
+    kernel.last_shard_stats = stats
+    logger.debug(
+        "kernel %r: %d shard(s) on %s over split %r (%s); %.1f ms total "
+        "shard time",
+        kernel.name, plan.shards, executor, plan.split_attr, plan.kind,
+        sum(s.seconds for s in stats) * 1e3,
+    )
+    return merge_partials(kernel, plan, partials)
+
+
+def run_batch(
+    kernel,
+    runs: Sequence[Mapping[str, Tensor]],
+    *,
+    capacity: Optional[int] = None,
+    auto_grow: bool = False,
+    max_capacity: Optional[int] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> List[object]:
+    """Run ``kernel`` over many input bindings, pool-parallel.
+
+    Results come back in input order.  ``executor=None`` follows
+    ``REPRO_PARALLEL`` and falls back to ``serial``.
+    """
+    if executor is None:
+        executor = (
+            kernel.parallel or resilience.parallel_backend() or "serial"
+        )
+    executor = _resolve_executor(kernel, executor)
+    n_workers = resilience.worker_count(workers)
+    results: List[object] = []
+    stats: List[ShardStat] = []
+    ex = get_shared_executor(executor, n_workers)
+    futures = []
+    for tensors in runs:
+        if ex.name == "process":
+            futures.append(_submit(
+                ex, worker_mod.run_shard_task, kernel.recipe, tensors, None,
+                capacity, auto_grow, max_capacity,
+            ))
+        else:
+            futures.append(_submit(
+                ex, _local_task, kernel, tensors,
+                capacity, auto_grow, max_capacity,
+            ))
+    for i, (fut, tensors) in enumerate(zip(futures, runs)):
+        retried = False
+        try:
+            result, seconds, who = fut.result()
+        except Exception as exc:
+            logger.warning(
+                "batch item %d/%d of kernel %r failed on the %s executor "
+                "(%s: %s); retrying in-process",
+                i + 1, len(runs), kernel.name, executor,
+                type(exc).__name__, exc,
+            )
+            _maybe_discard(ex, exc)
+            retried = True
+            result, seconds, who = _local_task(
+                kernel, tensors, capacity, auto_grow, max_capacity,
+            )
+        results.append(result)
+        stats.append(ShardStat(
+            index=i, lo=0, hi=0, seconds=seconds,
+            bytes_in=_operand_bytes(tensors), worker=who, retried=retried,
+        ))
+    kernel.last_shard_stats = stats
+    return results

@@ -1,0 +1,232 @@
+"""Executor backends behind one futures API.
+
+Three interchangeable backends run shard tasks:
+
+``serial``
+    Runs every task inline at submit time.  The debug oracle: identical
+    scheduling semantics, zero concurrency, deterministic logs.  The
+    parity suite uses it as the reference the parallel backends must
+    match exactly.
+
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Compiled C
+    kernels are ctypes foreign calls, which release the GIL for the
+    duration of the loop nest — threads give genuine parallelism for
+    the C backend at zero serialization cost (operands are shared, not
+    pickled).
+
+``process``
+    A spawn-based :class:`~concurrent.futures.ProcessPoolExecutor` for
+    the Python backend (GIL-bound) or isolation-sensitive runs.  Tasks
+    must be picklable module-level callables; kernels cross the
+    boundary as :class:`~repro.compiler.kernel.KernelRecipe`, never as
+    compiled handles (see :mod:`repro.runtime.worker`).
+
+All backends bound their task queue: ``submit`` blocks once
+``queue_bound`` tasks are in flight, so a large batch cannot marshal
+every operand set into memory at once.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Optional
+
+from repro.compiler import resilience
+from repro.compiler.resilience import logger
+
+
+class Executor:
+    """The common surface: ``submit`` → :class:`Future`, ``shutdown``.
+
+    Also a context manager (``with get_executor(...) as ex:``) so error
+    paths cannot leak worker pools.
+    """
+
+    name = "base"
+
+    def __init__(self, workers: int, queue_bound: Optional[int] = None) -> None:
+        self.workers = max(1, int(workers))
+        self.queue_bound = (
+            int(queue_bound) if queue_bound is not None else self.workers * 4
+        )
+        self._slots = threading.BoundedSemaphore(self.queue_bound)
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; blocks while the bounded
+        queue is full."""
+        self._slots.acquire()
+        try:
+            future = self._submit(fn, *args, **kwargs)
+        except BaseException:
+            self._slots.release()
+            raise
+        future.add_done_callback(lambda _f: self._slots.release())
+        return future
+
+    def _submit(self, fn: Callable, *args, **kwargs) -> Future:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        pass
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(Executor):
+    """Inline execution with a real Future — the debug oracle."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1, queue_bound: Optional[int] = None) -> None:
+        super().__init__(1, queue_bound)
+
+    def _submit(self, fn: Callable, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+
+class ThreadExecutor(Executor):
+    """Thread pool; parallel for GIL-releasing (ctypes C) kernels."""
+
+    name = "thread"
+
+    def __init__(self, workers: int, queue_bound: Optional[int] = None) -> None:
+        super().__init__(workers, queue_bound)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-shard"
+        )
+
+    def _submit(self, fn: Callable, *args, **kwargs) -> Future:
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor(Executor):
+    """Spawn-based process pool; tasks and arguments must pickle.
+
+    Workers are handed the parent's kernel-cache directory explicitly
+    (via the pool initializer) so a rebuilt kernel lands on the same
+    on-disk payload/``.so`` tier the parent populated — the rebuild is
+    then a cache read, not a recompile, and concurrent rebuilds
+    serialize on the cache's per-key file locks.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int, queue_bound: Optional[int] = None) -> None:
+        super().__init__(workers, queue_bound)
+        from repro.compiler.cache import default_cache_dir
+        from repro.runtime import worker as worker_mod
+
+        ctx_name = resilience.mp_start_method()
+        import multiprocessing
+
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(ctx_name),
+            initializer=worker_mod.init_worker,
+            initargs=(str(default_cache_dir()), dict(_repro_env())),
+        )
+
+    def _submit(self, fn: Callable, *args, **kwargs) -> Future:
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _repro_env() -> dict:
+    """The ``REPRO_*`` knobs a worker must inherit verbatim.
+
+    ``spawn`` children do inherit ``os.environ``, but only the state at
+    ``Popen`` time — a pool worker respawned after a crash could see a
+    parent that has since mutated its environment.  Passing an explicit
+    snapshot through the initializer pins the configuration the pool
+    was created under.
+    """
+    return {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+
+
+def get_executor(
+    name: str, workers: Optional[int] = None, queue_bound: Optional[int] = None
+) -> Executor:
+    """Factory: executor by name, worker count from ``REPRO_WORKERS``
+    when not given."""
+    n = resilience.worker_count(workers)
+    if name == "serial":
+        return SerialExecutor(1, queue_bound)
+    if name == "thread":
+        return ThreadExecutor(n, queue_bound)
+    if name == "process":
+        return ProcessExecutor(n, queue_bound)
+    logger.warning(
+        "unknown executor %r (expected one of %s); using serial",
+        name, list(resilience.KNOWN_EXECUTORS),
+    )
+    return SerialExecutor(1, queue_bound)
+
+
+_SHARED: dict = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def get_shared_executor(name: str, workers: Optional[int] = None) -> Executor:
+    """A process-wide pool, created on first use and reused after.
+
+    ``run_sharded`` in a loop must not pay pool construction per call —
+    a spawn-based process pool costs interpreter startups, and reuse
+    also keeps the workers' in-memory kernel memos warm across calls.
+    Shared pools are shut down at interpreter exit; callers must not
+    ``shutdown()`` them.
+    """
+    n = resilience.worker_count(workers)
+    key = (name, n)
+    with _SHARED_LOCK:
+        ex = _SHARED.get(key)
+        if ex is None:
+            ex = get_executor(name, n)
+            _SHARED[key] = ex
+        return ex
+
+
+def discard_shared_executor(ex: Executor) -> None:
+    """Evict a broken pool from the shared registry and tear it down.
+
+    A :class:`~concurrent.futures.BrokenExecutor` pool rejects every
+    further submit, so leaving it cached would poison all later
+    ``run_sharded`` calls on that backend; after eviction the next
+    :func:`get_shared_executor` call builds a fresh pool.
+    """
+    with _SHARED_LOCK:
+        for key, cached in list(_SHARED.items()):
+            if cached is ex:
+                del _SHARED[key]
+    try:
+        ex.shutdown()
+    except Exception:
+        pass
+
+
+def shutdown_shared_executors() -> None:
+    """Tear down every shared pool (also registered at exit)."""
+    with _SHARED_LOCK:
+        for ex in _SHARED.values():
+            ex.shutdown()
+        _SHARED.clear()
+
+
+atexit.register(shutdown_shared_executors)

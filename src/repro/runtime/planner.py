@@ -1,0 +1,191 @@
+"""Shard planning: pick a split index, balance the ranges.
+
+A split on attribute ``a`` partitions ``a``'s range ``[0, dim_a)`` into
+contiguous windows.  The plan is legal when every operand can be
+restricted to a window without re-formatting:
+
+- tensor operands that do not mention ``a`` pass through whole;
+- tensor operands with ``a`` at their *outermost* level are row-block
+  sliced with :meth:`repro.data.tensor.Tensor.slice_outer` (an O(rows)
+  rebase over numpy views, no copies of the leaf data);
+- an operand with ``a`` at an inner level, or a
+  :class:`~repro.compiler.formats.FunctionInput` mentioning ``a``
+  (function streams evaluate at absolute indices, slicing rebases
+  them), disqualifies ``a``.
+
+The split *kind* decides the merge:
+
+- ``"free"``: ``a`` is the output's outermost attribute — each shard
+  produces a window of the result and the merge is concatenation;
+- ``"contracted"``: ``a`` does not appear in the output — each shard
+  produces a full-shape partial and the merge is elementwise ⊕
+  (Theorem 6.1: Σ_a is a ⊕-reduction, so it commutes with
+  partitioning ``a``'s range).
+
+An output attribute at an inner position admits neither merge and is
+rejected.
+
+Range boundaries are nnz-balanced: each sliced operand contributes its
+per-outer-coordinate leaf counts (:meth:`Tensor.outer_weights`); the
+planner cuts the cumulative weight into near-equal parts instead of
+cutting the coordinate range uniformly, so a power-law row distribution
+does not serialize behind one dense shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.formats import FunctionInput, TensorInput
+from repro.compiler.resilience import logger
+from repro.data.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A legal split: attribute, kind, and the per-shard windows."""
+
+    split_attr: str
+    kind: str                       # "free" | "contracted"
+    dim: int                        # full range of the split attribute
+    ranges: Tuple[Tuple[int, int], ...]   # [lo, hi) per shard, covering [0, dim)
+
+    @property
+    def shards(self) -> int:
+        return len(self.ranges)
+
+
+def _split_kind(kernel, attr: str) -> Optional[str]:
+    """``"free"``/``"contracted"`` when every operand admits a split on
+    ``attr``, else None."""
+    any_outer = False
+    for spec in kernel.input_specs.values():
+        k = spec.split_kind(attr)
+        if k is None:
+            return None
+        if k == "outer":
+            any_outer = True
+    if not any_outer:
+        # no operand is actually partitioned: "splitting" would run the
+        # whole problem in every shard
+        return None
+    out = kernel.output
+    if out is None or attr not in out.attrs:
+        return "contracted"
+    if out.attrs[0] == attr:
+        return "free"
+    return None
+
+
+def candidate_splits(kernel) -> List[Tuple[str, str]]:
+    """All legal ``(attr, kind)`` pairs, free splits first.
+
+    Free splits are preferred: shard outputs are windows of the result
+    (concatenation merge, shard-sized allocations) instead of
+    full-shape partials that must be ⊕-reduced.
+    """
+    attrs: List[str] = []
+    for spec in kernel.input_specs.values():
+        for a in spec.attrs:
+            if a not in attrs:
+                attrs.append(a)
+    cands = [(a, k) for a in attrs if (k := _split_kind(kernel, a)) is not None]
+    cands.sort(key=lambda c: 0 if c[1] == "free" else 1)
+    return cands
+
+
+def _attr_dim(kernel, tensors: Mapping[str, Tensor], attr: str) -> Optional[int]:
+    for name, spec in kernel.input_specs.items():
+        if isinstance(spec, TensorInput) and attr in spec.attrs:
+            t = tensors[name]
+            return int(t.dims[spec.attrs.index(attr)])
+    return None
+
+
+def _balanced_ranges(
+    weights: np.ndarray, dim: int, shards: int
+) -> Tuple[Tuple[int, int], ...]:
+    """Cut ``[0, dim)`` into ≤ ``shards`` windows of near-equal weight.
+
+    Classic balanced-cut: cumulative weights, then ``searchsorted`` for
+    the k/n quantile boundaries.  Boundaries always fall between outer
+    coordinates (a single heavy row is never split), duplicate cuts and
+    empty windows are dropped.
+    """
+    shards = max(1, min(int(shards), dim))
+    total = int(weights.sum())
+    if total == 0:
+        bounds = np.linspace(0, dim, shards + 1).astype(np.int64)
+    else:
+        cum = np.cumsum(weights)
+        targets = (np.arange(1, shards) * total) / shards
+        cuts = np.searchsorted(cum, targets, side="left") + 1
+        bounds = np.concatenate(([0], cuts, [dim]))
+    bounds = np.clip(bounds, 0, dim)
+    ranges = [
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+    return tuple(ranges)
+
+
+def plan_shards(
+    kernel,
+    tensors: Mapping[str, Tensor],
+    shards: int,
+    split_attr: Optional[str] = None,
+) -> Optional[ShardPlan]:
+    """Choose a split attribute and nnz-balanced windows.
+
+    Returns None when no attribute qualifies (the caller degrades to a
+    single-shard run).  ``split_attr`` forces a specific attribute and
+    raises :class:`ValueError` when it is not splittable — an explicit
+    request should fail loudly, an automatic one quietly.
+    """
+    if split_attr is not None:
+        kind = _split_kind(kernel, split_attr)
+        if kind is None:
+            raise ValueError(
+                f"attribute {split_attr!r} is not splittable for kernel "
+                f"{kernel.name!r}: it must be outermost (or absent) in every "
+                "operand and outermost (or absent) in the output"
+            )
+        cands = [(split_attr, kind)]
+    else:
+        cands = candidate_splits(kernel)
+    for attr, kind in cands:
+        dim = _attr_dim(kernel, tensors, attr)
+        if dim is None or dim <= 1:
+            continue
+        weights = np.zeros(dim, dtype=np.int64)
+        for name, spec in kernel.input_specs.items():
+            if isinstance(spec, TensorInput) and spec.split_kind(attr) == "outer":
+                weights += tensors[name].outer_weights()
+        ranges = _balanced_ranges(weights, dim, shards)
+        plan = ShardPlan(attr, kind, dim, ranges)
+        logger.debug(
+            "kernel %r: split on %r (%s), %d shard(s) over dim %d",
+            kernel.name, attr, kind, plan.shards, dim,
+        )
+        return plan
+    return None
+
+
+def slice_operands(
+    kernel, tensors: Mapping[str, Tensor], plan: ShardPlan, lo: int, hi: int
+) -> Dict[str, Tensor]:
+    """The operand bindings for the shard covering ``[lo, hi)``."""
+    shard: Dict[str, Tensor] = {}
+    for name, spec in kernel.input_specs.items():
+        if isinstance(spec, FunctionInput):
+            continue
+        t = tensors[name]
+        if spec.split_kind(plan.split_attr) == "outer":
+            shard[name] = t.slice_outer(lo, hi)
+        else:
+            shard[name] = t
+    return shard

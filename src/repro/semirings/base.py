@@ -31,6 +31,13 @@ class Semiring:
     #: admit extra rewrites (e.g. boolean projection is union).
     idempotent_add: bool = False
 
+    #: Optional numpy ufunc implementing ⊕ elementwise over arrays
+    #: (``np.add`` for (+, ·), ``np.minimum`` for (min, +), …).  When
+    #: present, the parallel runtime's merger ⊕-reduces shard partials
+    #: with one vectorized call; when ``None``, :meth:`elementwise_add`
+    #: falls back to a scalar loop through :meth:`add`.
+    np_add: Any = None
+
     def add(self, x: Any, y: Any) -> Any:
         raise NotImplementedError
 
@@ -64,6 +71,25 @@ class Semiring:
         for x in xs:
             acc = self.mul(acc, x)
         return acc
+
+    def elementwise_add(self, x: Any, y: Any) -> Any:
+        """⊕ applied pointwise to two equal-shape numpy arrays.
+
+        This is the merge operation Theorem 6.1 licenses for sharded
+        contraction: a contraction is a ⊕-reduction, so partial results
+        over an index partition combine with pointwise ⊕.
+        """
+        if self.np_add is not None:
+            return self.np_add(x, y)
+        import numpy as np
+
+        flat_x = np.asarray(x).ravel()
+        flat_y = np.asarray(y).ravel()
+        out = np.array(
+            [self.add(a, b) for a, b in zip(flat_x.tolist(), flat_y.tolist())],
+            dtype=np.asarray(x).dtype,
+        )
+        return out.reshape(np.asarray(x).shape)
 
     def pow(self, x: Any, n: int) -> Any:
         if n < 0:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Any
 
+import numpy as np
+
 from repro.semirings.base import Semiring
 
 
@@ -15,6 +17,7 @@ class BoolSemiring(Semiring):
     zero = False
     one = True
     idempotent_add = True
+    np_add = np.logical_or
 
     def add(self, x: bool, y: bool) -> bool:
         return x or y
@@ -32,6 +35,7 @@ class NatSemiring(Semiring):
     name = "nat"
     zero = 0
     one = 1
+    np_add = np.add
 
     def add(self, x: int, y: int) -> int:
         return x + y
@@ -49,6 +53,7 @@ class IntSemiring(Semiring):
     name = "int"
     zero = 0
     one = 1
+    np_add = np.add
 
     def add(self, x: int, y: int) -> int:
         return x + y
@@ -72,6 +77,7 @@ class FloatSemiring(Semiring):
     name = "float"
     zero = 0.0
     one = 1.0
+    np_add = np.add
 
     def __init__(self, rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> None:
         self.rel_tol = rel_tol
@@ -101,6 +107,7 @@ class MinPlusSemiring(Semiring):
     zero = math.inf
     one = 0.0
     idempotent_add = True
+    np_add = np.minimum
 
     def add(self, x: float, y: float) -> float:
         return min(x, y)
@@ -119,6 +126,7 @@ class MaxPlusSemiring(Semiring):
     zero = -math.inf
     one = 0.0
     idempotent_add = True
+    np_add = np.maximum
 
     def add(self, x: float, y: float) -> float:
         return max(x, y)
@@ -137,6 +145,7 @@ class MaxTimesSemiring(Semiring):
     zero = 0.0
     one = 1.0
     idempotent_add = True
+    np_add = np.maximum
 
     def add(self, x: float, y: float) -> float:
         return max(x, y)

@@ -9,11 +9,14 @@ stream model, used by hypothesis property tests:
 * :func:`check_lawful` — the lawfulness condition of Section 6.1
   (skipping to ``(i, r)`` does not change evaluation at ``j ≥ (i, r)``),
 * :func:`check_homomorphism_mul` / ``…_add`` / ``…_contract`` —
-  instances of Theorem 6.1 (⟦–⟧ : 𝒮 → 𝒯 is a homomorphism).
+  instances of Theorem 6.1 (⟦–⟧ : 𝒮 → 𝒯 is a homomorphism),
+* :func:`check_shard_parity` — the runtime corollary of Theorem 6.1:
+  sharded execution with ⊕-merge equals the one-shot denotation.
 """
 
 from repro.verification.checkers import (
     check_homomorphism_add,
+    check_shard_parity,
     check_homomorphism_contract,
     check_homomorphism_mul,
     check_lawful,
@@ -28,4 +31,5 @@ __all__ = [
     "check_homomorphism_mul",
     "check_homomorphism_add",
     "check_homomorphism_contract",
+    "check_shard_parity",
 ]

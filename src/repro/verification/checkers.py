@@ -189,6 +189,38 @@ def check_homomorphism_contract(x: Stream) -> bool:
     return _values_eq(_prune(lhs, semiring), _prune(rhs, semiring), semiring)
 
 
+def check_shard_parity(
+    kernel,
+    tensors: Any,
+    shards: int = 4,
+    executor: str = "serial",
+    split_attr: Optional[str] = None,
+) -> bool:
+    """Sharded execution equals the unsharded oracle, value for value.
+
+    The runtime counterpart of Theorem 6.1: partitioning a split index
+    and merging with ⊕/concatenation must be *exactly* the program's
+    one-shot denotation (the semiring's own ``eq`` decides value
+    equality, so float tolerance applies where the paper applies it).
+    Returns True vacuously when the kernel admits no multi-shard plan —
+    the runtime's quiet degradation to a single run is itself the
+    contract being checked.
+    """
+    expected = kernel._run_single(tensors)
+    actual = kernel.run_sharded(
+        tensors, executor=executor, shards=shards, split_attr=split_attr
+    )
+    semiring = kernel.ops.semiring
+    if not hasattr(expected, "to_dict"):
+        return semiring.eq(expected, actual)
+    if expected.dims != actual.dims or expected.attrs != actual.attrs:
+        return False
+    lhs, rhs = expected.to_dict(), actual.to_dict()
+    if lhs.keys() != rhs.keys():
+        return False
+    return all(semiring.eq(lhs[c], rhs[c]) for c in lhs)
+
+
 def _prune(value: Any, semiring: Semiring) -> Any:
     """Drop zero leaves and empty sub-dicts for structural comparison."""
     if not isinstance(value, dict):

@@ -1,0 +1,402 @@
+"""Unit tests for the sharded runtime: planner, slicing, executors,
+merge, environment routing, and per-shard fault fallback."""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.compiler import Op, TFLOAT, TINT
+from repro.compiler.formats import FunctionInput
+from repro.compiler.kernel import OutputSpec, compile_kernel
+from repro.compiler.scalars import scalar_ops_for
+from repro.compiler import resilience
+from repro.krelation import Schema
+from repro.lang import Sum, TypeContext, Var
+from repro.runtime import api as api_mod
+from repro.runtime.executor import (
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.runtime.planner import candidate_splits, plan_shards, slice_operands
+from repro.semirings import FLOAT
+from repro.workloads import dense_vector, sparse_matrix, sparse_vector
+
+N = 24
+
+
+def spmv_kernel(n: int = N, seed: int = 7, backend: str = "python"):
+    A = sparse_matrix(n, n, 0.3, attrs=("i", "j"), seed=seed)
+    x = dense_vector(n, attr="j", seed=seed + 1)
+    ctx = TypeContext(Schema.of(i=None, j=None), {"A": {"i", "j"}, "x": {"j"}})
+    kernel = compile_kernel(
+        Sum("j", Var("A") * Var("x")), ctx, {"A": A, "x": x},
+        OutputSpec(("i",), ("dense",), (n,)),
+        semiring=FLOAT, backend=backend, name="rt_spmv",
+    )
+    return kernel, {"A": A, "x": x}
+
+
+def dot_kernel(n: int = N, seed: int = 3):
+    u = sparse_vector(n, 0.5, attr="j", seed=seed)
+    v = dense_vector(n, attr="j", seed=seed + 1)
+    ctx = TypeContext(Schema.of(j=None), {"u": {"j"}, "v": {"j"}})
+    kernel = compile_kernel(
+        Sum("j", Var("u") * Var("v")), ctx, {"u": u, "v": v}, None,
+        semiring=FLOAT, backend="python", name="rt_dot",
+    )
+    return kernel, {"u": u, "v": v}
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_spmv_splits_free_on_rows(self):
+        kernel, tensors = spmv_kernel()
+        assert candidate_splits(kernel) == [("i", "free")]
+        plan = plan_shards(kernel, tensors, 4)
+        assert plan is not None and plan.kind == "free"
+        assert plan.split_attr == "i"
+        # windows tile [0, N) exactly, in order
+        assert plan.ranges[0][0] == 0 and plan.ranges[-1][1] == N
+        for (_, hi), (lo, _) in zip(plan.ranges[:-1], plan.ranges[1:]):
+            assert hi == lo
+
+    def test_dot_splits_contracted(self):
+        kernel, tensors = dot_kernel()
+        plan = plan_shards(kernel, tensors, 3)
+        assert plan is not None
+        assert (plan.split_attr, plan.kind) == ("j", "contracted")
+
+    def test_inner_attr_rejected(self):
+        kernel, tensors = spmv_kernel()
+        # j sits at A's inner level: an explicit request fails loudly
+        with pytest.raises(ValueError, match="not splittable"):
+            plan_shards(kernel, tensors, 2, split_attr="j")
+
+    def test_nnz_balanced_boundaries(self):
+        # all nonzeros in the top quarter of the rows: balanced cuts
+        # must land inside that quarter, not at dim/2
+        n = 32
+        entries = {(i, j): 1.0 for i in range(8) for j in range(n)}
+        from repro.data import Tensor
+
+        A = Tensor.from_entries(("i", "j"), ("dense", "sparse"), (n, n), entries)
+        x = dense_vector(n, attr="j", seed=1)
+        ctx = TypeContext(Schema.of(i=None, j=None), {"A": {"i", "j"}, "x": {"j"}})
+        kernel = compile_kernel(
+            Sum("j", Var("A") * Var("x")), ctx, {"A": A, "x": x},
+            OutputSpec(("i",), ("dense",), (n,)),
+            semiring=FLOAT, backend="python", name="rt_skew",
+        )
+        plan = plan_shards(kernel, tensors={"A": A, "x": x}, shards=2)
+        lo, hi = plan.ranges[0]
+        assert hi <= 8, f"first cut at {hi}, expected within the dense block"
+
+    def test_shards_clamped_to_dim(self):
+        kernel, tensors = spmv_kernel()
+        plan = plan_shards(kernel, tensors, 1000)
+        assert plan.shards <= N
+
+    def test_slice_operands_partitions_rows(self):
+        kernel, tensors = spmv_kernel()
+        plan = plan_shards(kernel, tensors, 4)
+        seen = {}
+        for lo, hi in plan.ranges:
+            shard = slice_operands(kernel, tensors, plan, lo, hi)
+            assert shard["x"] is tensors["x"]          # untouched operand
+            assert shard["A"].dims[0] == hi - lo
+            for (i, j), v in shard["A"].to_dict().items():
+                seen[(i + lo, j)] = v
+        assert seen == tensors["A"].to_dict()
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+class TestExecutors:
+    def test_serial_inline(self):
+        with SerialExecutor() as ex:
+            assert ex.submit(lambda a, b: a + b, 2, 3).result() == 5
+
+    def test_serial_future_carries_exception(self):
+        def boom():
+            raise RuntimeError("shard failed")
+
+        with SerialExecutor() as ex:
+            fut = ex.submit(boom)
+        with pytest.raises(RuntimeError, match="shard failed"):
+            fut.result()
+
+    def test_thread_pool_runs_all(self):
+        with ThreadExecutor(workers=2) as ex:
+            futures = [ex.submit(lambda k=k: k * k) for k in range(10)]
+            assert [f.result() for f in futures] == [k * k for k in range(10)]
+
+    def test_bounded_queue_progresses(self):
+        # queue bound far below the task count: submit must block and
+        # drain rather than deadlock
+        with ThreadExecutor(workers=2, queue_bound=2) as ex:
+            futures = [ex.submit(lambda k=k: k) for k in range(20)]
+            assert sorted(f.result() for f in futures) == list(range(20))
+
+    def test_unknown_name_degrades_to_serial(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            ex = get_executor("gpu")
+        assert ex.name == "serial"
+        assert any("unknown executor" in r.message for r in caplog.records)
+
+    def test_worker_count_env(self, monkeypatch):
+        monkeypatch.setenv(resilience.ENV_WORKERS, "3")
+        assert resilience.worker_count() == 3
+        assert resilience.worker_count(5) == 3
+        monkeypatch.delenv(resilience.ENV_WORKERS)
+        assert resilience.worker_count(5) == 5
+
+
+# ----------------------------------------------------------------------
+# sharded runs, merge, routing
+# ----------------------------------------------------------------------
+class TestRunSharded:
+    def test_free_split_matches_oracle(self):
+        kernel, tensors = spmv_kernel()
+        ref = kernel._run_single(tensors)
+        got = kernel.run_sharded(tensors, executor="thread", shards=4, workers=2)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got.vals))
+        assert len(kernel.last_shard_stats) == 4
+        assert all(s.seconds >= 0 and s.bytes_in > 0
+                   for s in kernel.last_shard_stats)
+
+    def test_contracted_scalar_matches_oracle(self):
+        kernel, tensors = dot_kernel()
+        ref = kernel._run_single(tensors)
+        got = kernel.run_sharded(tensors, executor="serial", shards=5)
+        assert got == pytest.approx(ref)
+
+    def test_contracted_sparse_output(self):
+        # y(j) = Σ_i A(i,j)·u(i): the split index i is contracted while
+        # the output is a sparse vector — exercises the dict-merge path
+        n = 16
+        A = sparse_matrix(n, n, 0.3, attrs=("i", "j"), seed=11)
+        u = sparse_vector(n, 0.6, attr="i", seed=12)
+        ctx = TypeContext(Schema.of(i=None, j=None), {"A": {"i", "j"}, "u": {"i"}})
+        kernel = compile_kernel(
+            Sum("i", Var("A") * Var("u")), ctx, {"A": A, "u": u},
+            OutputSpec(("j",), ("sparse",), (n,)),
+            semiring=FLOAT, backend="python", name="rt_colmix",
+        )
+        tensors = {"A": A, "u": u}
+        ref = kernel._run_single(tensors)
+        got = kernel.run_sharded(tensors, executor="serial", shards=4)
+        assert ref.to_dict() == pytest.approx(got.to_dict())
+
+    def test_csr_output_free_split(self):
+        n = 20
+        A = sparse_matrix(n, n, 0.25, attrs=("i", "j"), seed=21)
+        B = sparse_matrix(n, n, 0.25, attrs=("i", "j"), seed=22)
+        ctx = TypeContext(Schema.of(i=None, j=None), {"A": {"i", "j"}, "B": {"i", "j"}})
+        kernel = compile_kernel(
+            Var("A") * Var("B"), ctx, {"A": A, "B": B},
+            OutputSpec(("i", "j"), ("dense", "sparse"), (n, n)),
+            semiring=FLOAT, backend="python", name="rt_emul",
+        )
+        tensors = {"A": A, "B": B}
+        ref = kernel._run_single(tensors)
+        got = kernel.run_sharded(tensors, executor="serial", shards=3)
+        assert ref.to_dict() == got.to_dict()
+        assert np.array_equal(ref.pos[1], got.pos[1])
+
+    def test_unsplittable_degrades_to_single_run(self):
+        # a pure dense-vector scale has no sliceable operand pair:
+        # x(i) alone is splittable, so pick a 1-long dim to force the
+        # no-plan path instead
+        kernel, tensors = spmv_kernel(n=1)
+        ref = kernel._run_single(tensors)
+        got = kernel.run_sharded(tensors, executor="thread", shards=4)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got.vals))
+
+    def test_run_routes_via_env(self, monkeypatch):
+        kernel, tensors = spmv_kernel()
+        monkeypatch.setenv(resilience.ENV_PARALLEL, "serial")
+        monkeypatch.setenv(resilience.ENV_WORKERS, "2")
+        kernel.last_shard_stats = []
+        got = kernel.run(tensors)
+        assert len(kernel.last_shard_stats) > 1
+        ref = kernel._run_single(tensors)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got.vals))
+
+    def test_run_parallel_false_overrides_env(self, monkeypatch):
+        kernel, tensors = spmv_kernel()
+        monkeypatch.setenv(resilience.ENV_PARALLEL, "serial")
+        kernel.last_shard_stats = []
+        kernel.run(tensors, parallel=False)
+        assert kernel.last_shard_stats == []
+
+    def test_compile_kernel_parallel_default(self):
+        n = N
+        A = sparse_matrix(n, n, 0.3, attrs=("i", "j"), seed=7)
+        x = dense_vector(n, attr="j", seed=8)
+        ctx = TypeContext(Schema.of(i=None, j=None), {"A": {"i", "j"}, "x": {"j"}})
+        kernel = compile_kernel(
+            Sum("j", Var("A") * Var("x")), ctx, {"A": A, "x": x},
+            OutputSpec(("i",), ("dense",), (n,)),
+            semiring=FLOAT, backend="python", name="rt_spmv_par",
+            parallel="serial", workers=2,
+        )
+        assert (kernel.parallel, kernel.workers) == ("serial", 2)
+        kernel.run({"A": A, "x": x})
+        assert len(kernel.last_shard_stats) > 1
+
+    def test_shard_failure_retries_in_process(self, monkeypatch, caplog):
+        kernel, tensors = spmv_kernel()
+        ref = kernel._run_single(tensors)
+        real = api_mod._local_task
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected shard fault")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(api_mod, "_local_task", flaky)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            got = kernel.run_sharded(tensors, executor="serial", shards=3)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got.vals))
+        assert kernel.last_shard_stats[0].retried
+        assert sum(s.retried for s in kernel.last_shard_stats) == 1
+        assert any("retrying in-process" in r.message for r in caplog.records)
+
+    def test_broken_pool_is_evicted_and_run_still_succeeds(
+            self, monkeypatch, caplog):
+        # A pool broken before submit (a worker killed under a previous
+        # call) raises BrokenExecutor from submit itself; the run must
+        # fall back shard-by-shard and evict the poisoned pool so the
+        # next call rebuilds a fresh one.
+        from concurrent.futures import BrokenExecutor
+
+        from repro.runtime import executor as ex_mod
+
+        kernel, tensors = spmv_kernel()
+        ref = kernel._run_single(tensors)
+
+        class BrokenPool(ex_mod.Executor):
+            name = "thread"
+
+            def _submit(self, fn, *args, **kwargs):
+                raise BrokenExecutor("pool is dead")
+
+        broken = BrokenPool(workers=2)
+        key = ("thread", 2)
+        monkeypatch.setitem(ex_mod._SHARED, key, broken)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            got = kernel.run_sharded(
+                tensors, executor="thread", workers=2, shards=3)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got.vals))
+        assert all(s.retried for s in kernel.last_shard_stats)
+        assert any("discarding it" in r.message for r in caplog.records)
+        assert key not in ex_mod._SHARED
+        got2 = kernel.run_sharded(
+            tensors, executor="thread", workers=2, shards=3)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got2.vals))
+        assert not any(s.retried for s in kernel.last_shard_stats)
+        fresh = ex_mod._SHARED.get(key)
+        assert fresh is not None and fresh is not broken
+
+    def test_function_input_downgrades_process(self, caplog):
+        ops = scalar_ops_for(FLOAT)
+        even = Op(
+            "even", (TINT,), TFLOAT,
+            spec=lambda i: 1.0 if i % 2 == 0 else 0.0,
+            c_expr=lambda i: f"(({i}) % 2 == 0 ? 1.0 : 0.0)",
+        )
+        p = FunctionInput("p", ("j",), even, ops)
+        A = sparse_matrix(N, N, 0.3, attrs=("i", "j"), seed=5)
+        ctx = TypeContext(Schema.of(i=None, j=None), {"A": {"i", "j"}, "p": {"j"}})
+        kernel = compile_kernel(
+            Sum("j", Var("A") * Var("p")), ctx, {"A": A, "p": p},
+            OutputSpec(("i",), ("dense",), (N,)),
+            semiring=FLOAT, backend="python", name="rt_fninput",
+        )
+        assert kernel.recipe is None
+        tensors = {"A": A}
+        ref = kernel._run_single(tensors)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            got = kernel.run_sharded(tensors, executor="process", shards=2)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got.vals))
+        assert any("downgrading the process executor" in r.message
+                   for r in caplog.records)
+
+
+class TestCBackend:
+    """The C backend sharded: with a toolchain these are genuinely
+    GIL-releasing ctypes kernels; without one the build falls back to
+    the Python backend (logged) and sharding must still be exact."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_c_backend_sharded_matches_oracle(self, executor):
+        kernel, tensors = spmv_kernel(backend="c")
+        ref = kernel._run_single(tensors)
+        got = kernel.run_sharded(tensors, executor=executor, shards=4, workers=2)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got.vals))
+
+
+class TestBatch:
+    def test_batch_preserves_order(self):
+        kernel, _ = spmv_kernel()
+        runs = []
+        for seed in range(6):
+            A = sparse_matrix(N, N, 0.3, attrs=("i", "j"), seed=seed)
+            x = dense_vector(N, attr="j", seed=seed + 100)
+            runs.append({"A": A, "x": x})
+        expected = [kernel._run_single(r).vals for r in runs]
+        got = kernel.run_batch(runs, executor="thread", workers=2)
+        for want, have in zip(expected, got):
+            assert np.array_equal(np.asarray(want), np.asarray(have.vals))
+        assert len(kernel.last_shard_stats) == len(runs)
+
+
+class TestRecipe:
+    def test_recipe_pickles_and_rebuilds(self):
+        kernel, tensors = spmv_kernel()
+        assert kernel.recipe is not None
+        clone = pickle.loads(pickle.dumps(kernel.recipe)).build()
+        ref = kernel._run_single(tensors)
+        got = clone._run_single(tensors)
+        assert np.array_equal(np.asarray(ref.vals), np.asarray(got.vals))
+
+    def test_restored_kernel_keeps_recipe(self):
+        # a second identical build returns the memoized kernel and must
+        # still carry a recipe and the builder's parallel stamp
+        k1, _ = spmv_kernel()
+        k2, _ = spmv_kernel()
+        assert k2.recipe is not None
+
+    def test_with_output_dims_shares_backend(self):
+        kernel, tensors = spmv_kernel()
+        clone = kernel.with_output_dims((10,))
+        assert clone._kernel is kernel._kernel
+        assert clone.output.dims == (10,)
+        assert kernel.output.dims == (N,)
+
+    def test_with_output_dims_rejects_scalar(self):
+        kernel, _ = dot_kernel()
+        with pytest.raises(Exception):
+            kernel.with_output_dims((4,))
+
+
+class TestLoggerDedup:
+    def test_handler_installed_once(self):
+        from repro.compiler.resilience import _get_logger
+
+        first = _get_logger()
+        again = _get_logger()
+        assert first is again
+        named = [h for h in first.handlers
+                 if getattr(h, "name", None) == "repro-default"]
+        assert len(named) == 1
