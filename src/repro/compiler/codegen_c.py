@@ -263,6 +263,8 @@ def _compile(source: str, c_path: str, so_path: str) -> None:
            c_path, "-o", tmp_so, "-lm"]
     timeout = resilience.gcc_timeout()
     last_error: CompileError | None = None
+    seen_signals: set[int] = set()
+    repeated_kill = False
     try:
         for attempt in (1, 2):
             try:
@@ -281,17 +283,47 @@ def _compile(source: str, c_path: str, so_path: str) -> None:
                 os.replace(tmp_so, so_path)
                 return
             stderr = proc.stderr.decode(errors="replace")
-            last_error = CompileError(
-                f"{cc} exited with status {proc.returncode}",
-                command=cmd, returncode=proc.returncode, stderr=stderr,
-            )
-            if not resilience.is_transient(proc.returncode):
-                raise last_error
+            if proc.returncode < 0:
+                signame = resilience.signal_name(-proc.returncode)
+                last_error = CompileError(
+                    f"{cc} was killed by {signame}",
+                    command=cmd, returncode=proc.returncode, stderr=stderr,
+                )
+            else:
+                last_error = CompileError(
+                    f"{cc} exited with status {proc.returncode}",
+                    command=cmd, returncode=proc.returncode, stderr=stderr,
+                )
+            if not resilience.is_transient(proc.returncode, seen_signals):
+                repeated_kill = (
+                    proc.returncode < 0 and -proc.returncode in seen_signals
+                )
+                break
+            seen_signals.add(-proc.returncode)
             logger.warning(
-                "transient compiler failure (status %d) on attempt %d; retrying",
-                proc.returncode, attempt,
+                "transient compiler failure (killed by %s) on attempt %d; "
+                "retrying once",
+                resilience.signal_name(-proc.returncode), attempt,
             )
         assert last_error is not None
+        if repeated_kill and last_error.signal is not None:
+            # the retry died by the same signal: deterministic, not
+            # transient — tell the operator what to do about it
+            hint = (
+                "likely the OOM killer — reduce concurrent builds, raise the "
+                "memory limit, or set REPRO_BACKEND_FALLBACK=1 to use the "
+                "Python backend"
+                if last_error.signal_name == "SIGKILL"
+                else "an external supervisor is killing the toolchain; check "
+                "resource limits and container policies"
+            )
+            raise CompileError(
+                f"{cc} was killed by {last_error.signal_name} twice in a row; "
+                f"not retrying further ({hint})",
+                command=cmd,
+                returncode=last_error.returncode,
+                stderr=last_error.stderr,
+            )
         raise last_error
     finally:
         if os.path.exists(tmp_so):

@@ -9,10 +9,12 @@ build, and wrap the result as a :class:`Kernel` that marshals
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import re
+import threading
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +45,8 @@ from repro.errors import (
     CapacityError,
     CompileError,
     IRVerifyError,
+    KernelCrashError,
+    KernelTimeoutError,
     ShapeError,
 )
 from repro.lang.ast import Expr
@@ -118,12 +122,12 @@ class KernelRecipe:
     name: str
     attr_dims: Tuple[Tuple[str, int], ...]
 
-    def build(self) -> "Kernel":
+    def build(self, cache: bool = True) -> "Kernel":
         """Rebuild the kernel (hits the two-tier cache when warm)."""
         builder = KernelBuilder(
             self.ctx, self.semiring, backend=self.backend, search=self.search,
             locate=self.locate, opt_level=self.opt_level,
-            vectorize=self.vectorize,
+            vectorize=self.vectorize, cache=cache,
         )
         specs: Dict[str, Union[TensorInput, FunctionInput]] = {
             var: TensorInput(var, attrs, formats, builder.ops)
@@ -174,8 +178,38 @@ class Kernel:
         #: defers to the ``REPRO_PARALLEL`` environment knob
         self.parallel: Optional[str] = None
         self.workers: Optional[int] = None
-        #: per-shard timing/volume stats from the last sharded run
-        self.last_shard_stats: list = []
+        #: the canonical build-cache key (None when caching is off);
+        #: also keys the supervised-execution circuit breaker
+        self.cache_key: Optional[str] = None
+        #: per-kernel supervision default: True/False force it on/off
+        #: for every run; None defers to ``REPRO_SUPERVISE`` and then
+        #: the auto policy (C-backed ``needs_guard`` kernels)
+        self.supervised: Optional[bool] = None
+        #: per-shard timing/volume stats from the last sharded run,
+        #: behind a lock (see the ``last_shard_stats`` property)
+        self._stats_lock = threading.Lock()
+        self._last_shard_stats: List = []
+        #: lazily built pure-Python twin served while the circuit
+        #: breaker is open
+        self._fallback_lock = threading.Lock()
+        self._fallback: Optional["Kernel"] = None
+
+    @property
+    def last_shard_stats(self) -> List:
+        """Per-shard stats of the most recent sharded run (a copy).
+
+        Reads and writes go through one lock so concurrent
+        :meth:`run_sharded` calls on a shared kernel can never expose a
+        half-written list; each call's own stats are available
+        race-free via ``run_sharded(..., stats_out=[])``.
+        """
+        with self._stats_lock:
+            return list(self._last_shard_stats)
+
+    @last_shard_stats.setter
+    def last_shard_stats(self, stats) -> None:
+        with self._stats_lock:
+            self._last_shard_stats = list(stats)
 
     @property
     def needs_guard(self) -> bool:
@@ -199,9 +233,23 @@ class Kernel:
         parallel: Optional[Union[str, bool]] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        supervised: Optional[bool] = None,
     ) -> Union[Tensor, float, int, bool]:
         """Execute on concrete tensors; returns the output tensor (or a
         scalar for shape-∅ kernels).
+
+        ``supervised=True`` runs the kernel in an isolated,
+        resource-capped child process (see
+        :mod:`repro.runtime.supervisor`): a segfault or runaway loop
+        becomes a typed :class:`~repro.errors.KernelCrashError` /
+        :class:`~repro.errors.KernelTimeoutError` instead of taking the
+        host down, and a kernel that keeps failing is quarantined by a
+        circuit breaker that transparently serves the pure-Python
+        backend until a backoff re-probe succeeds.  ``None`` defers to
+        the kernel's own ``supervised`` stamp, then ``REPRO_SUPERVISE``,
+        then the auto policy: C-backed kernels whose output stores the
+        capacity lint could not prove safe (``needs_guard``) are
+        supervised automatically.
 
         ``parallel`` selects a shard executor (``"serial"``,
         ``"thread"``, ``"process"``); ``None`` defers first to the
@@ -236,8 +284,160 @@ class Kernel:
                 executor=backend_choice,
                 workers=workers if workers is not None else self.workers,
                 shards=shards,
+                supervised=supervised,
             )
-        return self._run_single(
+        return self._run_guarded(
+            tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity,
+            supervised=supervised,
+        )
+
+    # ------------------------------------------------------------------
+    # supervised execution (repro.runtime.supervisor + breaker)
+    # ------------------------------------------------------------------
+    def _resolve_supervised(self, supervised: Optional[bool] = None) -> bool:
+        """Call argument → kernel stamp → ``REPRO_SUPERVISE`` → auto
+        policy (supervise C-backed kernels the capacity lint could not
+        prove safe; the Python backend cannot corrupt the host)."""
+        if supervised is None:
+            supervised = self.supervised
+        if supervised is not None:
+            return bool(supervised)
+        env = resilience.supervise_mode()
+        if env is not None:
+            return env
+        return self.needs_guard and isinstance(self._kernel, codegen_c.CKernel)
+
+    def _run_guarded(
+        self,
+        tensors: Mapping[str, Tensor],
+        capacity: Optional[int] = None,
+        *,
+        auto_grow: bool = False,
+        max_capacity: Optional[int] = None,
+        supervised: Optional[bool] = None,
+    ) -> Union[Tensor, float, int, bool]:
+        """The single-run entry that applies the supervision policy."""
+        if not self._resolve_supervised(supervised):
+            return self._run_single(
+                tensors, capacity, auto_grow=auto_grow,
+                max_capacity=max_capacity,
+            )
+        from repro.runtime import supervisor
+
+        if not supervisor.can_supervise(self):
+            logger.warning(
+                "kernel %r: supervision requested but unavailable here "
+                "(no fork and no rebuild recipe); running in-process",
+                self.name,
+            )
+            return self._run_single(
+                tensors, capacity, auto_grow=auto_grow,
+                max_capacity=max_capacity,
+            )
+        return self._run_supervised(
+            tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity
+        )
+
+    def _run_supervised(
+        self,
+        tensors: Mapping[str, Tensor],
+        capacity: Optional[int],
+        *,
+        auto_grow: bool,
+        max_capacity: Optional[int],
+    ) -> Union[Tensor, float, int, bool]:
+        """One supervised run, routed through the circuit breaker.
+
+        closed → run supervised; a crash/timeout raises its typed error
+        and counts toward the breaker threshold.  open → serve the
+        pure-Python fallback without forking at all.  half-open → this
+        call is the re-probe; success closes the breaker, failure
+        re-opens it (with doubled backoff) and degrades to the fallback
+        transparently — once callers have been getting fallback service,
+        a probe failure is the breaker's business, not theirs.
+        """
+        from repro.runtime import breaker as breaker_mod
+        from repro.runtime.supervisor import run_supervised
+
+        key = self.cache_key or f"uncached:{self.name}"
+        brk = breaker_mod.breaker
+        state = brk.decide(key)
+        if state == breaker_mod.OPEN:
+            return self._run_fallback(
+                tensors, capacity, auto_grow=auto_grow,
+                max_capacity=max_capacity,
+            )
+        probe = state == breaker_mod.HALF_OPEN
+        if probe:
+            logger.warning(
+                "kernel %r: circuit breaker half-open; re-probing the "
+                "supervised kernel", self.name,
+            )
+        try:
+            result = run_supervised(
+                self, tensors, capacity, auto_grow=auto_grow,
+                max_capacity=max_capacity,
+            )
+        except (KernelCrashError, KernelTimeoutError) as exc:
+            brk.record_failure(key, name=self.name, probe=probe)
+            if probe:
+                return self._run_fallback(
+                    tensors, capacity, auto_grow=auto_grow,
+                    max_capacity=max_capacity, cause=exc,
+                )
+            raise
+        brk.record_success(key, name=self.name, probe=probe)
+        return result
+
+    def _fallback_kernel(self) -> Optional["Kernel"]:
+        """The memoized pure-Python twin of this kernel (None when there
+        is no rebuild recipe to build it from)."""
+        with self._fallback_lock:
+            if self._fallback is None and self.recipe is not None:
+                recipe = dataclasses.replace(
+                    self.recipe, backend="python", vectorize=None
+                )
+                fb = recipe.build()
+                if fb is self or fb._kernel is self._kernel:
+                    # this kernel was already Python-backed, so the
+                    # rebuild aliased it through the cache — serving a
+                    # crashing kernel as its own fallback is useless;
+                    # force a fresh (memoized here) build instead
+                    fb = recipe.build(cache=False)
+                # free-split shard clones carry shard-sized output dims
+                if (
+                    self.output is not None
+                    and fb.output is not None
+                    and tuple(fb.output.dims) != tuple(self.output.dims)
+                ):
+                    fb = fb.with_output_dims(self.output.dims)
+                fb.supervised = False  # the fallback must never recurse
+                self._fallback = fb
+            return self._fallback
+
+    def _run_fallback(
+        self,
+        tensors: Mapping[str, Tensor],
+        capacity: Optional[int],
+        *,
+        auto_grow: bool,
+        max_capacity: Optional[int],
+        cause: Optional[BaseException] = None,
+    ) -> Union[Tensor, float, int, bool]:
+        """Serve one run from the pure-Python twin (breaker open)."""
+        fb = self._fallback_kernel()
+        if fb is None:
+            if cause is not None:
+                raise cause
+            raise KernelCrashError(
+                f"kernel {self.name!r}: circuit breaker is open and no "
+                "Python fallback can be built (no rebuild recipe)"
+            )
+        logger.info(
+            "kernel %r: serving the pure-Python fallback result "
+            "(circuit breaker open)", self.name,
+        )
+        return fb._run_single(
             tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity
         )
 
@@ -331,6 +531,8 @@ class Kernel:
         clone.ws_dim = self.ws_dim
         clone.capacity_findings = self.capacity_findings
         clone.recipe = self.recipe
+        clone.cache_key = self.cache_key
+        clone.supervised = self.supervised
         return clone
 
     def run_sharded(
@@ -344,18 +546,27 @@ class Kernel:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         split_attr: Optional[str] = None,
+        supervised: Optional[bool] = None,
+        stats_out: Optional[List] = None,
     ) -> Union[Tensor, float, int, bool]:
         """Partition the operands, execute per shard, ⊕-merge.
 
         Delegates to :func:`repro.runtime.api.run_sharded`; falls back
-        to the single-shard path when no split index qualifies.
+        to the single-shard path when no split index qualifies.  Under
+        supervision a crashing shard fails over to the pure-Python
+        backend *for that shard only*, visible in the stats as
+        ``worker="fallback"``.  ``stats_out`` (a caller-supplied list)
+        receives this call's own :class:`~repro.runtime.api.ShardStat`
+        records — the race-free alternative to ``last_shard_stats``
+        when several threads share one kernel.
         """
         from repro.runtime.api import run_sharded as _run_sharded
 
         return _run_sharded(
             self, tensors, capacity=capacity, auto_grow=auto_grow,
             max_capacity=max_capacity, executor=executor, workers=workers,
-            shards=shards, split_attr=split_attr,
+            shards=shards, split_attr=split_attr, supervised=supervised,
+            stats_out=stats_out,
         )
 
     def run_batch(
@@ -694,11 +905,13 @@ class KernelBuilder:
             )
             cached = kernel_cache.lookup(key)
             if cached is not None:
-                return self._attach_runtime(cached, expr, specs, output, name, dims)
+                return self._attach_runtime(cached, expr, specs, output, name,
+                                            dims, key=key)
             restored = self._from_payload(key, specs, output)
             if restored is not None:
                 kernel_cache.store(key, restored)
-                return self._attach_runtime(restored, expr, specs, output, name, dims)
+                return self._attach_runtime(restored, expr, specs, output,
+                                            name, dims, key=key)
             kernel_cache.record_miss()
 
         ng = NameGen()
@@ -766,7 +979,8 @@ class KernelBuilder:
         if key is not None:
             kernel_cache.store(key, kernel)
             self._store_payload(key, kernel, body, backend_used)
-        return self._attach_runtime(kernel, expr, specs, output, name, dims)
+        return self._attach_runtime(kernel, expr, specs, output, name, dims,
+                                    key=key)
 
     def _attach_runtime(
         self,
@@ -776,6 +990,7 @@ class KernelBuilder:
         output: Optional[OutputSpec],
         name: str,
         attr_dims: Dict[str, int],
+        key: Optional[str] = None,
     ) -> Kernel:
         """Stamp the rebuild recipe and shard-executor defaults.
 
@@ -805,6 +1020,8 @@ class KernelBuilder:
                 name=name,
                 attr_dims=tuple(sorted(attr_dims.items())),
             )
+        if key is not None:
+            kernel.cache_key = key
         kernel.parallel = self.parallel
         kernel.workers = self.workers
         return kernel

@@ -40,7 +40,7 @@ import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 try:  # POSIX advisory locks; Windows falls back to O_EXCL spinning
     import fcntl
@@ -89,8 +89,17 @@ ENV_SANITIZE = "REPRO_SANITIZE"
 ENV_PARALLEL = "REPRO_PARALLEL"
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_MP_START = "REPRO_MP_START"
+ENV_SUPERVISE = "REPRO_SUPERVISE"
+ENV_KERNEL_DEADLINE = "REPRO_KERNEL_DEADLINE"
+ENV_KERNEL_MEM_MB = "REPRO_KERNEL_MEM_MB"
+ENV_STRICT_LOCKS = "REPRO_STRICT_LOCKS"
+ENV_BREAKER_THRESHOLD = "REPRO_BREAKER_THRESHOLD"
+ENV_BREAKER_BACKOFF = "REPRO_BREAKER_BACKOFF"
 
 DEFAULT_GCC_TIMEOUT = 120.0
+DEFAULT_KERNEL_DEADLINE = 60.0
+DEFAULT_BREAKER_THRESHOLD = 3
+DEFAULT_BREAKER_BACKOFF = 30.0
 
 _FALSEY = ("0", "off", "no", "false")
 
@@ -197,6 +206,104 @@ def mp_start_method() -> str:
     return "spawn"
 
 
+def supervise_mode() -> Optional[bool]:
+    """The three-valued ``REPRO_SUPERVISE`` policy.
+
+    ``True``: every ``Kernel.run`` executes in a supervised child;
+    ``False``: supervision is off even for at-risk kernels; ``None``
+    (unset/empty): the automatic policy — C-backed kernels whose
+    capacity lint could not prove every output store in bounds
+    (``Kernel.needs_guard``) run supervised, everything else in
+    process.
+    """
+    raw = os.environ.get(ENV_SUPERVISE, "").strip().lower()
+    if not raw:
+        return None
+    return raw not in _FALSEY
+
+
+def kernel_deadline() -> float:
+    """Wall-clock budget for one supervised kernel run, in seconds
+    (``REPRO_KERNEL_DEADLINE``, default 60)."""
+    raw = os.environ.get(ENV_KERNEL_DEADLINE)
+    if not raw:
+        return DEFAULT_KERNEL_DEADLINE
+    try:
+        value = float(raw)
+    except ValueError:
+        logger.warning(
+            "ignoring non-numeric %s=%r; using default %.0fs",
+            ENV_KERNEL_DEADLINE, raw, DEFAULT_KERNEL_DEADLINE,
+        )
+        return DEFAULT_KERNEL_DEADLINE
+    return value if value > 0 else DEFAULT_KERNEL_DEADLINE
+
+
+def kernel_mem_mb() -> Optional[int]:
+    """``RLIMIT_AS`` cap for a supervised kernel child, in MiB
+    (``REPRO_KERNEL_MEM_MB``; default None = no address-space cap)."""
+    raw = os.environ.get(ENV_KERNEL_MEM_MB)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", ENV_KERNEL_MEM_MB, raw)
+        return None
+    if value <= 0:
+        logger.warning("ignoring non-positive %s=%r", ENV_KERNEL_MEM_MB, raw)
+        return None
+    return value
+
+
+def strict_locks() -> bool:
+    """Whether a build-lock timeout raises :class:`~repro.errors.LockTimeoutError`
+    instead of degrading to an unlocked (but still atomic) build
+    (``REPRO_STRICT_LOCKS``, default off)."""
+    raw = os.environ.get(ENV_STRICT_LOCKS, "")
+    return bool(raw) and raw.lower() not in _FALSEY
+
+
+def breaker_threshold() -> int:
+    """Supervised crashes/timeouts before the circuit breaker opens
+    (``REPRO_BREAKER_THRESHOLD``, default 3)."""
+    raw = os.environ.get(ENV_BREAKER_THRESHOLD)
+    if not raw:
+        return DEFAULT_BREAKER_THRESHOLD
+    try:
+        value = int(raw)
+        if value > 0:
+            return value
+        logger.warning("ignoring non-positive %s=%r", ENV_BREAKER_THRESHOLD, raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", ENV_BREAKER_THRESHOLD, raw)
+    return DEFAULT_BREAKER_THRESHOLD
+
+
+def breaker_backoff() -> float:
+    """Base re-probe delay of an open circuit breaker, in seconds
+    (``REPRO_BREAKER_BACKOFF``, default 30; doubles per failed probe,
+    with jitter)."""
+    raw = os.environ.get(ENV_BREAKER_BACKOFF)
+    if not raw:
+        return DEFAULT_BREAKER_BACKOFF
+    try:
+        value = float(raw)
+        if value >= 0:
+            return value
+        logger.warning("ignoring negative %s=%r", ENV_BREAKER_BACKOFF, raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", ENV_BREAKER_BACKOFF, raw)
+    return DEFAULT_BREAKER_BACKOFF
+
+
+def signal_name(signum: int) -> str:
+    """Symbolic name of a signal number (``SIG<n>`` when unknown)."""
+    from repro.errors import _signal_name
+
+    return _signal_name(signum)
+
+
 def toolchain() -> str:
     """The C compiler binary (``REPRO_GCC`` override, default ``gcc``)."""
     return os.environ.get(ENV_GCC, "gcc")
@@ -250,15 +357,25 @@ def reset_probe_cache() -> None:
         _probe_cache.clear()
 
 
-def is_transient(returncode: Optional[int]) -> bool:
+def is_transient(
+    returncode: Optional[int], seen_signals: Iterable[int] = ()
+) -> bool:
     """Whether a compiler exit status is worth one retry.
 
     Death by signal (negative returncode on POSIX) usually means an OOM
     kill or an external interruption, not a defect in the generated
     source; a regular nonzero exit is a real compile error and retrying
     would only fail identically.
+
+    ``seen_signals`` is the set of signal numbers that already killed a
+    previous attempt of the *same* build: a toolchain SIGKILLed twice is
+    being OOM-killed deterministically, and hammering it a third time
+    only makes the memory pressure worse — one retry per signal, then
+    fail with an actionable message.
     """
-    return returncode is not None and returncode < 0
+    if returncode is None or returncode >= 0:
+        return False
+    return -returncode not in set(seen_signals)
 
 
 # ----------------------------------------------------------------------
@@ -284,28 +401,68 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
     atomic_write_bytes(path, text.encode())
 
 
+def _lock_timed_out(lock_path: str, timeout: float) -> None:
+    """Policy for a lock still busy at its deadline: *never* a silent
+    downgrade.  Default — warn and let the caller continue unlocked
+    (artifact publication is atomic, so the worst case is duplicated
+    work); under ``REPRO_STRICT_LOCKS=1`` — raise a typed
+    :class:`~repro.errors.LockTimeoutError` so fault harnesses (and
+    strict deployments) can assert on the condition instead of racing.
+    """
+    from repro.errors import LockTimeoutError
+
+    if strict_locks():
+        raise LockTimeoutError(
+            f"build lock {lock_path} still busy after {timeout:.1f}s "
+            f"({ENV_STRICT_LOCKS}=1: failing instead of running unlocked)",
+            path=lock_path, timeout=timeout,
+        )
+    logger.warning(
+        "lock %s busy past its %.1fs timeout; continuing unlocked "
+        "(set %s=1 to fail instead)",
+        lock_path, timeout, ENV_STRICT_LOCKS,
+    )
+
+
 @contextmanager
 def file_lock(path: Union[str, Path], timeout: float = 60.0):
     """An advisory per-key lock for concurrent builders.
 
     ``path`` names the artifact being built; the lock itself lives in a
     sibling ``<name>.lock`` file.  Uses ``flock`` where available and
-    falls back to ``O_CREAT|O_EXCL`` spinning otherwise.  Lock failures
-    (read-only directory, exotic filesystems) degrade to running
-    unlocked — the artifacts themselves are still published atomically,
-    so the worst case is duplicated work, never corruption.
+    falls back to ``O_CREAT|O_EXCL`` spinning otherwise.  Lock
+    *failures* (read-only directory, exotic filesystems) degrade to
+    running unlocked — the artifacts themselves are still published
+    atomically, so the worst case is duplicated work, never corruption.
+    A lock that stays *busy* past ``timeout`` is different: that is
+    logged as a warning, and under ``REPRO_STRICT_LOCKS=1`` raises
+    :class:`~repro.errors.LockTimeoutError` instead of continuing.
     """
     lock_path = str(path) + ".lock"
     if fcntl is not None:
         fd = None
         try:
             fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
-            fcntl.flock(fd, fcntl.LOCK_EX)
         except OSError:
-            if fd is not None:
-                os.close(fd)
-                fd = None
             logger.debug("could not lock %s; continuing unlocked", lock_path)
+        if fd is not None:
+            deadline = time.monotonic() + timeout
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except BlockingIOError:
+                    if time.monotonic() >= deadline:
+                        os.close(fd)
+                        fd = None
+                        _lock_timed_out(lock_path, timeout)  # may raise
+                        break
+                    time.sleep(0.02)
+                except OSError:
+                    os.close(fd)
+                    fd = None
+                    logger.debug("could not lock %s; continuing unlocked", lock_path)
+                    break
         try:
             yield
         finally:
@@ -324,7 +481,7 @@ def file_lock(path: Union[str, Path], timeout: float = 60.0):
             break
         except FileExistsError:
             if time.monotonic() >= deadline:
-                logger.debug("lock %s busy past timeout; continuing unlocked", lock_path)
+                _lock_timed_out(lock_path, timeout)  # may raise
                 break
             time.sleep(0.05)
         except OSError:
@@ -391,12 +548,28 @@ __all__ = [
     "ENV_PARALLEL",
     "ENV_WORKERS",
     "ENV_MP_START",
+    "ENV_SUPERVISE",
+    "ENV_KERNEL_DEADLINE",
+    "ENV_KERNEL_MEM_MB",
+    "ENV_STRICT_LOCKS",
+    "ENV_BREAKER_THRESHOLD",
+    "ENV_BREAKER_BACKOFF",
     "KNOWN_SANITIZERS",
     "KNOWN_EXECUTORS",
     "DEFAULT_GCC_TIMEOUT",
+    "DEFAULT_KERNEL_DEADLINE",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_BREAKER_BACKOFF",
     "parallel_backend",
     "worker_count",
     "mp_start_method",
+    "supervise_mode",
+    "kernel_deadline",
+    "kernel_mem_mb",
+    "strict_locks",
+    "breaker_threshold",
+    "breaker_backoff",
+    "signal_name",
     "fallback_enabled",
     "ir_verify_enabled",
     "sanitize_modes",

@@ -9,8 +9,14 @@ class and switch on the concrete type.  The taxonomy distinguishes
 * *state* failures — corrupted on-disk cache artifacts
   (:class:`CacheCorruptionError`),
 * *sizing* failures — a preallocated sparse output too small for the
-  result (:class:`CapacityError`), and
-* *usage* failures — shape mismatches (:class:`ShapeError`).
+  result (:class:`CapacityError`),
+* *usage* failures — shape mismatches (:class:`ShapeError`),
+* *execution* failures — a supervised kernel run dying by signal or
+  missing its wall-clock deadline (:class:`KernelCrashError`,
+  :class:`KernelTimeoutError`), and
+* *coordination* failures — a cross-process build lock that could not
+  be acquired in time under strict-lock mode
+  (:class:`LockTimeoutError`).
 
 :class:`CapacityError` and :class:`ShapeError` predate the taxonomy and
 keep their original bases (``RuntimeError`` / ``TypeError``) so
@@ -55,6 +61,14 @@ class CompileError(ReproError):
         self.returncode = returncode
         self.stderr = stderr
         self.timeout = timeout
+        #: when the toolchain died by signal (negative returncode on
+        #: POSIX): the signal number and its symbolic name (``SIGKILL``
+        #: usually means the OOM killer)
+        self.signal: Optional[int] = None
+        self.signal_name: Optional[str] = None
+        if returncode is not None and returncode < 0:
+            self.signal = -returncode
+            self.signal_name = _signal_name(-returncode)
 
 
 class BackendUnavailableError(ReproError):
@@ -92,6 +106,80 @@ class CapacityError(ReproError, RuntimeError):
         super().__init__(message)
         self.needed = needed
         self.capacity = capacity
+
+
+def _signal_name(signum: int) -> str:
+    """``SIGSEGV``-style symbolic name for a signal number (a plain
+    ``SIG<n>`` string when the number is unknown on this platform)."""
+    import signal as _signal
+
+    try:
+        return _signal.Signals(signum).name
+    except ValueError:
+        return f"SIG{signum}"
+
+
+class KernelRuntimeError(ReproError):
+    """Base class for failures of a *supervised* kernel execution.
+
+    Raised only on the supervised path (:mod:`repro.runtime.supervisor`)
+    — an unsupervised in-process run has no one to catch a segfault.
+    """
+
+
+class KernelCrashError(KernelRuntimeError):
+    """A supervised kernel child died by signal (segfault from an
+    out-of-contract write, SIGKILL from the OOM killer or a resource
+    cap, SIGXCPU from ``RLIMIT_CPU``, ...).
+
+    ``signal`` / ``signal_name`` identify the killer; ``exitcode`` is
+    the raw child exit status when the death was not signal-shaped
+    (e.g. a child that vanished without reporting a result).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        signal: Optional[int] = None,
+        exitcode: Optional[int] = None,
+    ) -> None:
+        name = _signal_name(signal) if signal is not None else None
+        if name is not None:
+            message = f"{message} (killed by {name})"
+        super().__init__(message)
+        self.signal = signal
+        self.signal_name = name
+        self.exitcode = exitcode
+
+
+class KernelTimeoutError(KernelRuntimeError):
+    """A supervised kernel child missed its wall-clock deadline and was
+    killed by the supervising parent."""
+
+    def __init__(self, message: str, *, deadline: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+
+
+class LockTimeoutError(ReproError):
+    """A cross-process build lock stayed busy past its timeout.
+
+    Raised only under ``REPRO_STRICT_LOCKS=1``; the default policy logs
+    a warning and continues unlocked (artifact publication is atomic,
+    so the worst case is duplicated work, never corruption).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.timeout = timeout
 
 
 class ShapeError(ReproError, TypeError):
@@ -139,4 +227,8 @@ __all__ = [
     "CapacityError",
     "ShapeError",
     "IRVerifyError",
+    "KernelRuntimeError",
+    "KernelCrashError",
+    "KernelTimeoutError",
+    "LockTimeoutError",
 ]

@@ -16,10 +16,20 @@ package exploits that:
   semiring-correctly;
 - :mod:`repro.runtime.api` glues them under
   :meth:`repro.compiler.kernel.Kernel.run_sharded` and the
-  ``REPRO_PARALLEL`` / ``REPRO_WORKERS`` environment knobs.
+  ``REPRO_PARALLEL`` / ``REPRO_WORKERS`` environment knobs;
+- :mod:`repro.runtime.supervisor` contains one kernel invocation in a
+  resource-capped child process (``REPRO_SUPERVISE``,
+  ``REPRO_KERNEL_DEADLINE``, ``REPRO_KERNEL_MEM_MB``) so a segfault or
+  runaway loop becomes a typed error instead of host death;
+- :mod:`repro.runtime.breaker` quarantines kernels that keep dying
+  under supervision behind a circuit breaker that serves the
+  pure-Python backend until a backoff re-probe succeeds.
 """
 
-from repro.runtime.api import run_batch, run_sharded
+from repro.runtime.api import ShardStat, run_batch, run_sharded
+# the process-wide instance is re-exported as `circuit_breaker`: the
+# plain name would shadow the `repro.runtime.breaker` submodule
+from repro.runtime.breaker import CircuitBreaker, breaker as circuit_breaker
 from repro.runtime.executor import (
     Executor,
     ProcessExecutor,
@@ -32,13 +42,18 @@ from repro.runtime.executor import (
 )
 from repro.runtime.merge import merge_partials
 from repro.runtime.planner import ShardPlan, plan_shards, slice_operands
+from repro.runtime.supervisor import can_supervise, run_supervised
 
 __all__ = [
+    "CircuitBreaker",
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
     "ShardPlan",
+    "ShardStat",
     "ThreadExecutor",
+    "can_supervise",
+    "circuit_breaker",
     "discard_shared_executor",
     "get_executor",
     "get_shared_executor",
@@ -46,6 +61,7 @@ __all__ = [
     "plan_shards",
     "run_batch",
     "run_sharded",
+    "run_supervised",
     "shutdown_shared_executors",
     "slice_operands",
 ]

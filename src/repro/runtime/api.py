@@ -26,6 +26,7 @@ from typing import List, Mapping, Optional, Sequence, Union
 from repro.compiler import resilience
 from repro.compiler.resilience import logger
 from repro.data.tensor import Tensor
+from repro.errors import KernelCrashError, KernelTimeoutError
 from repro.runtime import worker as worker_mod
 from repro.runtime.executor import discard_shared_executor, get_shared_executor
 from repro.runtime.merge import merge_partials
@@ -43,6 +44,9 @@ class ShardStat:
     bytes_in: int
     worker: Union[int, str]     # pid (process) or a backend tag
     retried: bool = False
+    #: this shard's supervised run crashed/timed out and the result was
+    #: served by the pure-Python fallback instead
+    failover: bool = False
 
 
 def _operand_bytes(tensors: Mapping[str, Tensor]) -> int:
@@ -54,12 +58,24 @@ def _operand_bytes(tensors: Mapping[str, Tensor]) -> int:
     return total
 
 
-def _local_task(kernel, tensors, capacity, auto_grow, max_capacity):
+def _local_task(kernel, tensors, capacity, auto_grow, max_capacity,
+                supervised=None):
     start = time.perf_counter()
-    result = kernel._run_single(
-        tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity
+    result = kernel._run_guarded(
+        tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity,
+        supervised=supervised,
     )
     return result, time.perf_counter() - start, "local"
+
+
+def _failover_task(kernel, tensors, capacity, auto_grow, max_capacity, cause):
+    """Serve one crashed/timed-out shard from the Python fallback."""
+    start = time.perf_counter()
+    result = kernel._run_fallback(
+        tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity,
+        cause=cause,
+    )
+    return result, time.perf_counter() - start, "fallback"
 
 
 def _submit(ex, fn, *args) -> Future:
@@ -111,13 +127,23 @@ def run_sharded(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     split_attr: Optional[str] = None,
+    supervised: Optional[bool] = None,
+    stats_out: Optional[List[ShardStat]] = None,
 ):
     """Partition one kernel run into shards, execute, and ⊕-merge.
 
     Degrades to the plain single run when no split index qualifies or
     the plan collapses to one shard; an explicit ``split_attr`` that is
     not splittable raises instead.  ``shards`` defaults to the worker
-    count.  Per-shard stats land on ``kernel.last_shard_stats``.
+    count.  Per-shard stats land on ``kernel.last_shard_stats`` (and in
+    ``stats_out`` when given — the race-free channel under concurrent
+    calls).
+
+    A shard whose *supervised* run dies (crash or deadline) is not
+    retried in-process — re-running a segfaulting kernel in the host
+    defeats the supervision — but failed over to the pure-Python
+    backend for that shard alone, marked ``failover=True`` /
+    ``worker="fallback"`` in the stats.
     """
     n_workers = resilience.worker_count(workers)
     n_shards = int(shards) if shards is not None else n_workers
@@ -128,8 +154,9 @@ def run_sharded(
             kernel.name,
             "no splittable index" if plan is None else "single shard",
         )
-        return kernel._run_single(
-            tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity
+        return kernel._run_guarded(
+            tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity,
+            supervised=supervised,
         )
 
     executor = _resolve_executor(kernel, executor)
@@ -160,11 +187,24 @@ def run_sharded(
         else:
             futures.append(_submit(
                 ex, _local_task, sk, st, capacity, auto_grow, max_capacity,
+                supervised,
             ))
     for i, (fut, (lo, hi)) in enumerate(zip(futures, plan.ranges)):
         retried = False
+        failover = False
         try:
             result, seconds, who = fut.result()
+        except (KernelCrashError, KernelTimeoutError) as exc:
+            logger.warning(
+                "shard %d/%d of kernel %r died under supervision (%s: %s); "
+                "failing over to the Python backend for this shard",
+                i + 1, plan.shards, kernel.name, type(exc).__name__, exc,
+            )
+            retried = failover = True
+            result, seconds, who = _failover_task(
+                shard_kernels[i], shard_inputs[i],
+                capacity, auto_grow, max_capacity, exc,
+            )
         except Exception as exc:
             logger.warning(
                 "shard %d/%d of kernel %r failed on the %s executor "
@@ -176,15 +216,17 @@ def run_sharded(
             retried = True
             result, seconds, who = _local_task(
                 shard_kernels[i], shard_inputs[i],
-                capacity, auto_grow, max_capacity,
+                capacity, auto_grow, max_capacity, supervised,
             )
         partials.append(result)
         stats.append(ShardStat(
             index=i, lo=lo, hi=hi, seconds=seconds,
             bytes_in=_operand_bytes(shard_inputs[i]),
-            worker=who, retried=retried,
+            worker=who, retried=retried, failover=failover,
         ))
     kernel.last_shard_stats = stats
+    if stats_out is not None:
+        stats_out.extend(stats)
     logger.debug(
         "kernel %r: %d shard(s) on %s over split %r (%s); %.1f ms total "
         "shard time",

@@ -1,0 +1,224 @@
+"""A per-kernel circuit breaker over supervised execution failures.
+
+A kernel that keeps segfaulting or timing out under supervision is not
+worth forking for on every request: after ``REPRO_BREAKER_THRESHOLD``
+consecutive crash/timeout failures the breaker *opens* and
+``Kernel.run`` transparently degrades to the pure-Python backend (a
+rebuild from the kernel's recipe — memory-safe, slower, numerically
+identical).  An open breaker re-probes the real kernel with exponential
+backoff plus jitter: after ``REPRO_BREAKER_BACKOFF`` seconds (doubled
+per failed probe, ±50% jitter) exactly one call runs the supervised
+kernel again (*half-open*); success closes the breaker, failure
+re-opens it with a longer delay.
+
+::
+
+                 failure × N                    backoff elapsed
+      CLOSED ──────────────────► OPEN ──────────────────────► HALF-OPEN
+        ▲                          ▲                              │
+        │ probe succeeds           │ probe fails (backoff ×2)     │
+        └──────────────────────────┴──────────────────────────────┘
+
+Breaker state is keyed by the kernel's canonical cache key, held in
+memory, and mirrored to ``kbrk_<key>.json`` records in the kernel cache
+directory (atomic writes under the per-key file lock, the PR 2
+machinery) so that a service restarting — or a sibling worker process —
+does not have to re-crash its way to the same conclusion.  Every
+transition is logged through the ``repro`` logger; degradation is never
+silent.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.compiler import resilience
+from repro.compiler.resilience import logger
+
+#: ceiling for the exponential re-probe delay
+MAX_BACKOFF = 600.0
+
+#: states reported by :meth:`CircuitBreaker.decide`
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+def _now() -> float:
+    """Wall-clock seconds (module-level so tests can monkeypatch time)."""
+    return time.time()
+
+
+@dataclass
+class BreakerRecord:
+    """Persistent per-key breaker state."""
+
+    failures: int = 0
+    opened_at: Optional[float] = None
+    probes: int = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened_at is not None
+
+
+class CircuitBreaker:
+    """Threshold/backoff bookkeeping for supervised kernels. Thread-safe."""
+
+    def __init__(self, persist: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._records: Dict[str, BreakerRecord] = {}
+        self._persist = persist
+
+    # -- state machine -------------------------------------------------
+    def decide(self, key: str) -> str:
+        """``closed`` (run normally), ``open`` (serve the fallback), or
+        ``half_open`` (this call is the re-probe)."""
+        with self._lock:
+            rec = self._load(key)
+            if not rec.is_open:
+                return CLOSED
+            if _now() >= self._reprobe_at(key, rec):
+                return HALF_OPEN
+            return OPEN
+
+    def record_failure(self, key: str, name: str = "?", probe: bool = False) -> bool:
+        """Count one supervised crash/timeout; returns True when this
+        failure opened (or re-opened) the breaker."""
+        with self._lock:
+            rec = self._load(key)
+            rec.failures += 1
+            opened = False
+            if probe and rec.is_open:
+                rec.probes += 1
+                rec.opened_at = _now()
+                opened = True
+                logger.warning(
+                    "kernel %r: re-probe failed (probe #%d); circuit stays "
+                    "open, next probe in ~%.0fs",
+                    name, rec.probes, self._backoff(rec),
+                )
+            elif not rec.is_open and rec.failures >= resilience.breaker_threshold():
+                rec.opened_at = _now()
+                rec.probes = 0
+                opened = True
+                logger.warning(
+                    "kernel %r: %d supervised failure(s) — circuit breaker "
+                    "OPEN; serving the Python-backend fallback, first "
+                    "re-probe in ~%.0fs",
+                    name, rec.failures, self._backoff(rec),
+                )
+            self._store(key, rec)
+            return opened
+
+    def record_success(self, key: str, name: str = "?", probe: bool = False) -> None:
+        """A supervised run completed: close (and forget) the breaker."""
+        with self._lock:
+            rec = self._records.get(key)
+            was_open = rec.is_open if rec is not None else False
+            self._records[key] = BreakerRecord()
+            self._erase(key)
+            if was_open:
+                logger.warning(
+                    "kernel %r: re-probe succeeded; circuit breaker CLOSED "
+                    "(native execution restored)", name,
+                )
+
+    def state(self, key: str) -> str:
+        return self.decide(key)
+
+    def reset(self) -> None:
+        """Forget everything (tests)."""
+        with self._lock:
+            for key in list(self._records):
+                self._erase(key)
+            self._records.clear()
+
+    # -- timing --------------------------------------------------------
+    def _backoff(self, rec: BreakerRecord) -> float:
+        return min(
+            MAX_BACKOFF, resilience.breaker_backoff() * (2.0 ** rec.probes)
+        )
+
+    def _reprobe_at(self, key: str, rec: BreakerRecord) -> float:
+        """The earliest wall-clock time of the next half-open probe.
+
+        Jitter is deterministic per (key, probe count) — re-deciding
+        must not re-roll the dice — and spreads a fleet of processes
+        that opened together over 1.0–1.5× the base delay so their
+        probes do not stampede the moment the backoff elapses.
+        """
+        assert rec.opened_at is not None
+        jitter = 1.0 + 0.5 * random.Random(f"{key}:{rec.probes}").random()
+        return rec.opened_at + self._backoff(rec) * jitter
+
+    # -- persistence (kernel cache dir, atomic + per-key flock) --------
+    def _path(self, key: str) -> Optional[Path]:
+        if not self._persist:
+            return None
+        try:
+            from repro.compiler.cache import default_cache_dir
+
+            return default_cache_dir() / f"kbrk_{key[:24]}.json"
+        except Exception:  # pragma: no cover - cache layer unavailable
+            return None
+
+    def _load(self, key: str) -> BreakerRecord:
+        rec = self._records.get(key)
+        if rec is not None:
+            return rec
+        rec = BreakerRecord()
+        path = self._path(key)
+        if path is not None:
+            try:
+                data = json.loads(path.read_text())
+                rec = BreakerRecord(
+                    failures=int(data["failures"]),
+                    opened_at=data["opened_at"],
+                    probes=int(data["probes"]),
+                )
+            except FileNotFoundError:
+                pass
+            except (OSError, ValueError, TypeError, KeyError) as exc:
+                logger.debug("unreadable breaker record %s (%s)", path, exc)
+        self._records[key] = rec
+        return rec
+
+    def _store(self, key: str, rec: BreakerRecord) -> None:
+        self._records[key] = rec
+        path = self._path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with resilience.file_lock(path):
+                resilience.atomic_write_text(path, json.dumps(asdict(rec)))
+        except OSError as exc:
+            logger.debug("could not persist breaker record %s (%s)", path, exc)
+
+    def _erase(self, key: str) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+#: the process-wide breaker consulted by ``Kernel.run``
+breaker = CircuitBreaker()
+
+__all__ = [
+    "CircuitBreaker",
+    "BreakerRecord",
+    "breaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "MAX_BACKOFF",
+]

@@ -11,7 +11,9 @@ stream model, used by hypothesis property tests:
 * :func:`check_homomorphism_mul` / ``…_add`` / ``…_contract`` —
   instances of Theorem 6.1 (⟦–⟧ : 𝒮 → 𝒯 is a homomorphism),
 * :func:`check_shard_parity` — the runtime corollary of Theorem 6.1:
-  sharded execution with ⊕-merge equals the one-shot denotation.
+  sharded execution with ⊕-merge equals the one-shot denotation,
+* :func:`check_supervised_parity` — supervised (child-process)
+  execution is pure relocation: bit-identical to the in-process run.
 """
 
 from repro.verification.checkers import (
@@ -22,6 +24,7 @@ from repro.verification.checkers import (
     check_lawful,
     check_monotone,
     check_strictly_monotone,
+    check_supervised_parity,
 )
 
 __all__ = [
@@ -32,4 +35,5 @@ __all__ = [
     "check_homomorphism_add",
     "check_homomorphism_contract",
     "check_shard_parity",
+    "check_supervised_parity",
 ]

@@ -221,6 +221,29 @@ def check_shard_parity(
     return all(semiring.eq(lhs[c], rhs[c]) for c in lhs)
 
 
+def check_supervised_parity(kernel, tensors: Any) -> bool:
+    """A supervised run equals the in-process oracle, value for value.
+
+    Supervision only relocates execution — same compiled artifact, same
+    inputs, a child process instead of the host — so the result must be
+    *identical*, not merely tolerance-close: the output crosses the
+    pipe as the very arrays the child assembled.  The same holds for
+    the circuit breaker's pure-Python fallback by PR 1's cross-backend
+    parity, so this checker is the supervised leg of that argument.
+    """
+    expected = kernel._run_single(tensors)
+    actual = kernel.run(tensors, parallel=False, supervised=True)
+    semiring = kernel.ops.semiring
+    if not hasattr(expected, "to_dict"):
+        return semiring.eq(expected, actual)
+    if expected.dims != actual.dims or expected.attrs != actual.attrs:
+        return False
+    lhs, rhs = expected.to_dict(), actual.to_dict()
+    if lhs.keys() != rhs.keys():
+        return False
+    return all(semiring.eq(lhs[c], rhs[c]) for c in lhs)
+
+
 def _prune(value: Any, semiring: Semiring) -> Any:
     """Drop zero leaves and empty sub-dicts for structural comparison."""
     if not isinstance(value, dict):

@@ -183,3 +183,39 @@ def test_invalidate_payload_quarantines(tmp_path):
     assert not list(tmp_path.glob("kmeta_*.json"))
     assert list(tmp_path.glob("kmeta_*.json.corrupt"))
     assert kc.load_payload("b" * 64) is None
+
+
+# ----------------------------------------------------------------------
+# signal-aware compile failures (PR 5)
+# ----------------------------------------------------------------------
+def test_compile_error_records_signal_name():
+    err = CompileError("cc died", returncode=-9)
+    assert err.signal == 9
+    assert err.signal_name == "SIGKILL"
+    err = CompileError("cc died", returncode=-11)
+    assert err.signal == 11
+    assert err.signal_name == "SIGSEGV"
+
+
+def test_compile_error_no_signal_for_plain_exits():
+    err = CompileError("cc failed", returncode=1)
+    assert err.signal is None and err.signal_name is None
+    err = CompileError("cc failed")
+    assert err.signal is None and err.signal_name is None
+
+
+def test_is_transient_stops_on_repeated_signal():
+    # first SIGKILL: worth one retry
+    assert resilience.is_transient(-9, seen_signals=())
+    # the retry died by the same signal: deterministic, stop
+    assert not resilience.is_transient(-9, seen_signals={9})
+    # a *different* signal is a fresh (possibly transient) condition
+    assert resilience.is_transient(-11, seen_signals={9})
+    # positive statuses are never transient regardless of history
+    assert not resilience.is_transient(1, seen_signals={9})
+
+
+def test_signal_name_helper():
+    assert resilience.signal_name(9) == "SIGKILL"
+    assert resilience.signal_name(11) == "SIGSEGV"
+    assert resilience.signal_name(10**6) == "SIG1000000"

@@ -1,0 +1,94 @@
+"""Injected-crash backend kernels for the supervisor tests.
+
+Each class below is a drop-in stand-in for a compiled backend kernel
+(the ``kernel._kernel`` callable): sabotaging a built
+:class:`~repro.compiler.kernel.Kernel` with one of these makes its next
+run die in a specific, reproducible way.  The ``fork`` start method of
+the supervisor inherits the sabotaged handle by memory copy, so the
+*child* dies exactly as a genuinely faulty compiled kernel would, while
+the host interpreter (and the test suite) survives to decode the exit
+status.
+
+``c_segfault_kernel`` goes one step further and compiles a real C
+kernel — same signature as the sabotaged kernel, body replaced with an
+out-of-contract store through the NULL page — for toolchain-marked
+tests that want the crash to originate in actual generated-style code.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import signal
+import time
+
+from repro.compiler import codegen_c
+
+
+class SegfaultKernel:
+    """An out-of-bounds store through the NULL page: dies by SIGSEGV."""
+
+    source = "/* injected fault: out-of-bounds store */"
+
+    def __call__(self, env) -> None:
+        ctypes.memset(8, 0, 1)
+
+
+class OomKernel:
+    """Allocates until the ``RLIMIT_AS`` cap, then dies by SIGKILL.
+
+    Inside the rlimit-capped child the allocation loop hits
+    ``MemoryError`` quickly; a real OOM-killer victim never gets to see
+    that exception — it is killed outright — so this kernel finishes
+    the simulation honestly by SIGKILLing itself, leaving the parent a
+    signal-shaped exit status to decode.
+    """
+
+    source = "/* injected fault: unbounded allocation */"
+
+    def __call__(self, env) -> None:
+        hoard = []
+        try:
+            while True:
+                hoard.append(bytearray(16 << 20))
+        except MemoryError:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class SpinKernel:
+    """An infinite skip loop that never converges: trips the deadline."""
+
+    source = "/* injected fault: non-converging skip loop */"
+
+    def __call__(self, env) -> None:
+        while True:
+            time.sleep(0.005)
+
+
+def c_segfault_kernel(kernel) -> codegen_c.CKernel:
+    """A real compiled C kernel with ``kernel``'s exact signature whose
+    body performs an out-of-contract store (requires a toolchain)."""
+    sig_parts = []
+    for param in kernel.params:
+        ctype = codegen_c.c_type(param.ctype)
+        if param.kind == "array":
+            sig_parts.append(f"{ctype}* {param.name}")
+        else:
+            sig_parts.append(f"{ctype} {param.name}")
+    name = f"{kernel.name}_oob"
+    source = f"""#include <stdint.h>
+
+void {name}({', '.join(sig_parts)}) {{
+  volatile int64_t* p = (int64_t*)8;  /* the null page */
+  p[0] = 42;
+}}
+"""
+    return codegen_c.CKernel(source, name, kernel.params)
+
+
+def sabotage(kernel, fake):
+    """Swap the compiled backend kernel for ``fake``; returns the
+    original so tests can heal the kernel later."""
+    original = kernel._kernel
+    kernel._kernel = fake
+    return original
