@@ -361,10 +361,16 @@ def parallel(quick: bool) -> None:
     from repro.compiler.kernel import OutputSpec, compile_kernel
     from repro.krelation import Schema
     from repro.lang import Sum, TypeContext, Var
+    from repro.runtime import pool as pool_mod
     from repro.workloads import dense_matrix, sparse_matrix
 
+    cpus = os.cpu_count() or 1
     header(f"Parallel runtime: sharded matmul scaling "
-           f"({os.cpu_count()} CPU(s); REPRO_PARALLEL/REPRO_WORKERS)")
+           f"({cpus} CPU(s); REPRO_PARALLEL/REPRO_WORKERS)")
+    if cpus < 2:
+        print("WARNING: single-CPU machine — the speedup column below "
+              "measures dispatch\noverhead, NOT parallel scaling; do not "
+              "quote it as a scaling result.")
     n = 2000 if quick else 4000
     k = 256 if quick else 512
     A = sparse_matrix(n, n, 0.02, attrs=("i", "j"), seed=3)
@@ -380,19 +386,91 @@ def parallel(quick: bool) -> None:
     base = timeit(lambda: kernel._run_single(tensors))
     print(f"{'configuration':<28}{'ms':>10}{'speedup':>10}")
     print(f"{'unsharded':<28}{base*1e3:>10.2f}{1.0:>10.2f}")
-    for executor in ("serial", "thread", "process"):
+    for executor in ("serial", "thread", "process", "pool"):
         for w in (2, 4):
             t = timeit(lambda: kernel.run_sharded(
                 tensors, executor=executor, workers=w, shards=w))
             print(f"{executor + ' x' + str(w):<28}{t*1e3:>10.2f}"
                   f"{base/t:>10.2f}")
+    t_warm = timeit(lambda: pool_mod.run_pooled(kernel, tensors))
+    print(f"{'pooled supervised (warm)':<28}{t_warm*1e3:>10.2f}"
+          f"{base/t_warm:>10.2f}")
+    pool_mod.shutdown_shared_pool()
+
+
+# ----------------------------------------------------------------------
+def deltas(quick: bool = False) -> None:
+    """Cross-PR benchmark comparison: BENCH_PR6 vs the PR 4/PR 5
+    baselines, with non-representative (single-CPU) reports flagged."""
+    import json
+    import os
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[1]
+    reports = {}
+    for tag in ("PR4", "PR5", "PR6"):
+        path = root / f"BENCH_{tag}.json"
+        if path.exists():
+            reports[tag] = json.loads(path.read_text())
+
+    header("Benchmark deltas across PRs (BENCH_PR4/PR5/PR6.json)")
+    if not reports:
+        print("no BENCH_*.json reports found; run the benchmarks/ suite "
+              "first")
+        return
+    for tag, rep in reports.items():
+        cpus = rep.get("cpus", "?")
+        flag = ("" if isinstance(cpus, int) and cpus >= 2 else
+                "  [NON-REPRESENTATIVE: single CPU — speedups are "
+                "dispatch overhead, not scaling]")
+        print(f"{tag}: backend={rep.get('backend', '?')}, cpus={cpus}, "
+              f"generated={rep.get('generated', '?')}{flag}")
+
+    pr4 = reports.get("PR4", {}).get("results", {})
+    pr5 = reports.get("PR5", {}).get("results", {})
+    pr6 = reports.get("PR6", {}).get("results", {})
+
+    if pr6:
+        print(f"\n{'workload':<10}{'metric':<34}{'PR4/PR5':>12}"
+              f"{'PR6':>12}{'change':>10}")
+        for wl, r6 in pr6.items():
+            rows = []
+            r4 = pr4.get(wl, {})
+            if "seconds" in r4 and "process_2" in r4["seconds"]:
+                rows.append((
+                    "process-shard x2 (s) -> pool x2",
+                    r4["seconds"]["process_2"],
+                    r6["seconds"]["pool_2"],
+                ))
+            r5 = pr5.get(wl, {})
+            if "slowdown" in r5:
+                rows.append((
+                    "supervised slowdown fork -> pool",
+                    r5["slowdown"],
+                    r6["supervised_slowdown"]["pool_warm"],
+                ))
+            for label, old, new in rows:
+                change = (f"{old / new:>9.2f}x" if new else "      n/a")
+                print(f"{wl:<10}{label:<34}{old:>12.4f}{new:>12.4f}"
+                      f"{change}")
+            print(f"{wl:<10}{'pool beats process dispatch by':<34}"
+                  f"{'':>12}{r6['pool_vs_process']:>11.2f}x")
+        print("\n(PR4/PR5 numbers were measured per-call: spawn + pickle "
+              "per shard, fork per\nsupervised run.  PR6 amortizes both "
+              "into resident pooled workers with\nshared-memory "
+              "operands.)")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true",
                         help="smaller sizes (~1 minute total)")
+    parser.add_argument("--deltas", action="store_true",
+                        help="only print the cross-PR benchmark deltas")
     args = parser.parse_args()
+    if args.deltas:
+        deltas(args.quick)
+        return
     fig17(args.quick)
     sec81(args.quick)
     fig19(args.quick)
@@ -400,6 +478,7 @@ def main() -> None:
     fig21(args.quick)
     ablations(args.quick)
     parallel(args.quick)
+    deltas(args.quick)
 
 
 if __name__ == "__main__":

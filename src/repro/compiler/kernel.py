@@ -252,13 +252,18 @@ class Kernel:
         supervised automatically.
 
         ``parallel`` selects a shard executor (``"serial"``,
-        ``"thread"``, ``"process"``); ``None`` defers first to the
-        kernel's compiled-in default and then to the ``REPRO_PARALLEL``
-        environment knob, and ``False`` forces a single-shard in-process
-        run regardless of either.  Sharded execution partitions the
-        operands along one index, runs this same kernel per shard, and
-        ⊕-merges the partials (see :mod:`repro.runtime`); when no index
-        is splittable it quietly degrades to the single run.
+        ``"thread"``, ``"process"``, ``"pool"``); ``None`` defers first
+        to the kernel's compiled-in default and then to the
+        ``REPRO_PARALLEL`` environment knob, and ``False`` forces a
+        single-shard in-process run regardless of either.  Sharded
+        execution partitions the operands along one index, runs this
+        same kernel per shard, and ⊕-merges the partials (see
+        :mod:`repro.runtime`); when no index is splittable it quietly
+        degrades to the single run.  The ``pool`` executor keeps this
+        kernel resident in persistent workers and ships operand buffers
+        through shared memory instead of pickle (see
+        :mod:`repro.runtime.pool` / :mod:`repro.runtime.shm`) — the
+        fast path for repeated runs.
 
         With ``auto_grow=True`` an undersized sparse output no longer
         raises: the run is retried with geometrically doubled capacity
@@ -355,6 +360,12 @@ class Kernel:
         re-opens it (with doubled backoff) and degrades to the fallback
         transparently — once callers have been getting fallback service,
         a probe failure is the breaker's business, not theirs.
+
+        Under ``REPRO_POOL=1`` the supervised run itself is served by
+        the persistent worker pool (rlimits paid once per worker, the
+        kernel resident, operands over shared memory) instead of a
+        fork-per-call child; the typed errors — and therefore the
+        breaker transitions driven here — are identical either way.
         """
         from repro.runtime import breaker as breaker_mod
         from repro.runtime.supervisor import run_supervised

@@ -95,11 +95,20 @@ ENV_KERNEL_MEM_MB = "REPRO_KERNEL_MEM_MB"
 ENV_STRICT_LOCKS = "REPRO_STRICT_LOCKS"
 ENV_BREAKER_THRESHOLD = "REPRO_BREAKER_THRESHOLD"
 ENV_BREAKER_BACKOFF = "REPRO_BREAKER_BACKOFF"
+ENV_POOL = "REPRO_POOL"
+ENV_POOL_WORKERS = "REPRO_POOL_WORKERS"
+ENV_POOL_WARM = "REPRO_POOL_WARM"
+ENV_POOL_IDLE_TTL = "REPRO_POOL_IDLE_TTL"
+ENV_SHM_THRESHOLD = "REPRO_SHM_THRESHOLD"
 
 DEFAULT_GCC_TIMEOUT = 120.0
 DEFAULT_KERNEL_DEADLINE = 60.0
 DEFAULT_BREAKER_THRESHOLD = 3
 DEFAULT_BREAKER_BACKOFF = 30.0
+DEFAULT_POOL_IDLE_TTL = 300.0
+#: operand/result payloads below this many bytes travel inline over the
+#: pipe; at or above it they go through a shared-memory segment
+DEFAULT_SHM_THRESHOLD = 16384
 
 _FALSEY = ("0", "off", "no", "false")
 
@@ -107,7 +116,7 @@ _FALSEY = ("0", "off", "no", "false")
 KNOWN_SANITIZERS = ("address", "undefined")
 
 #: executor backends of :mod:`repro.runtime` selectable via REPRO_PARALLEL
-KNOWN_EXECUTORS = ("serial", "thread", "process")
+KNOWN_EXECUTORS = ("serial", "thread", "process", "pool")
 
 
 def fallback_enabled() -> bool:
@@ -295,6 +304,77 @@ def breaker_backoff() -> float:
     except ValueError:
         logger.warning("ignoring non-numeric %s=%r", ENV_BREAKER_BACKOFF, raw)
     return DEFAULT_BREAKER_BACKOFF
+
+
+def pool_enabled() -> bool:
+    """Whether supervised runs may route through the persistent worker
+    pool instead of forking a fresh child per call (``REPRO_POOL``,
+    default off).
+
+    Off by default because the fork-per-call supervisor inherits the
+    parent's in-memory kernel handle — the contract the fault-injection
+    suite pins — while a pooled worker rebuilds the kernel from its
+    recipe.  Selecting the ``pool`` *executor* (``REPRO_PARALLEL=pool``
+    or ``parallel="pool"``) does not require this switch; it only
+    gates the supervised-single-run routing.
+    """
+    raw = os.environ.get(ENV_POOL, "")
+    return bool(raw) and raw.lower() not in _FALSEY
+
+
+def pool_workers(default: Optional[int] = None) -> int:
+    """Resident worker count for the persistent pool
+    (``REPRO_POOL_WORKERS`` override, else :func:`worker_count`)."""
+    raw = os.environ.get(ENV_POOL_WORKERS)
+    if raw:
+        try:
+            value = int(raw)
+            if value > 0:
+                return value
+            logger.warning("ignoring non-positive %s=%r", ENV_POOL_WORKERS, raw)
+        except ValueError:
+            logger.warning("ignoring non-numeric %s=%r", ENV_POOL_WORKERS, raw)
+    return worker_count(default)
+
+
+def pool_warm_enabled() -> bool:
+    """Whether new/replacement pool workers are proactively warmed with
+    every recipe the pool has seen (``REPRO_POOL_WARM``, default on).
+    Off, recipes still ship lazily — once per worker per cache key — on
+    first use."""
+    return os.environ.get(ENV_POOL_WARM, "1").lower() not in _FALSEY
+
+
+def pool_idle_ttl() -> Optional[float]:
+    """Seconds an idle pool worker beyond the first may live before
+    eviction (``REPRO_POOL_IDLE_TTL``, default 300; ``0``/falsey
+    disables eviction)."""
+    raw = os.environ.get(ENV_POOL_IDLE_TTL)
+    if raw is None or not raw.strip():
+        return DEFAULT_POOL_IDLE_TTL
+    if raw.strip().lower() in _FALSEY:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", ENV_POOL_IDLE_TTL, raw)
+        return DEFAULT_POOL_IDLE_TTL
+    return value if value > 0 else None
+
+
+def shm_threshold() -> int:
+    """Minimum payload size, in bytes, that travels through a
+    shared-memory segment instead of the pickle pipe
+    (``REPRO_SHM_THRESHOLD``; ``0`` forces shm for everything)."""
+    raw = os.environ.get(ENV_SHM_THRESHOLD)
+    if raw is None or not raw.strip():
+        return DEFAULT_SHM_THRESHOLD
+    try:
+        value = int(raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", ENV_SHM_THRESHOLD, raw)
+        return DEFAULT_SHM_THRESHOLD
+    return max(0, value)
 
 
 def signal_name(signum: int) -> str:
@@ -554,12 +634,19 @@ __all__ = [
     "ENV_STRICT_LOCKS",
     "ENV_BREAKER_THRESHOLD",
     "ENV_BREAKER_BACKOFF",
+    "ENV_POOL",
+    "ENV_POOL_WORKERS",
+    "ENV_POOL_WARM",
+    "ENV_POOL_IDLE_TTL",
+    "ENV_SHM_THRESHOLD",
     "KNOWN_SANITIZERS",
     "KNOWN_EXECUTORS",
     "DEFAULT_GCC_TIMEOUT",
     "DEFAULT_KERNEL_DEADLINE",
     "DEFAULT_BREAKER_THRESHOLD",
     "DEFAULT_BREAKER_BACKOFF",
+    "DEFAULT_POOL_IDLE_TTL",
+    "DEFAULT_SHM_THRESHOLD",
     "parallel_backend",
     "worker_count",
     "mp_start_method",
@@ -569,6 +656,11 @@ __all__ = [
     "strict_locks",
     "breaker_threshold",
     "breaker_backoff",
+    "pool_enabled",
+    "pool_workers",
+    "pool_warm_enabled",
+    "pool_idle_ttl",
+    "shm_threshold",
     "signal_name",
     "fallback_enabled",
     "ir_verify_enabled",

@@ -9,9 +9,9 @@ package exploits that:
 
 - :mod:`repro.runtime.planner` picks a split index and nnz-balanced
   range boundaries from the operands' position arrays;
-- :mod:`repro.runtime.executor` runs shard tasks on one of three
-  backends (``serial`` | ``thread`` | ``process``) behind a single
-  futures API with a bounded task queue;
+- :mod:`repro.runtime.executor` runs shard tasks on one of four
+  backends (``serial`` | ``thread`` | ``process`` | ``pool``) behind a
+  single futures API with a bounded task queue;
 - :mod:`repro.runtime.merge` combines the partial outputs
   semiring-correctly;
 - :mod:`repro.runtime.api` glues them under
@@ -23,7 +23,15 @@ package exploits that:
   runaway loop becomes a typed error instead of host death;
 - :mod:`repro.runtime.breaker` quarantines kernels that keep dying
   under supervision behind a circuit breaker that serves the
-  pure-Python backend until a backoff re-probe succeeds.
+  pure-Python backend until a backoff re-probe succeeds;
+- :mod:`repro.runtime.pool` keeps a persistent, pre-warmed set of
+  worker processes holding compiled kernels resident
+  (``REPRO_POOL_WORKERS``, ``REPRO_POOL_WARM``,
+  ``REPRO_POOL_IDLE_TTL``), with supervision amortized inside the
+  workers (``REPRO_POOL``);
+- :mod:`repro.runtime.shm` is the zero-copy data plane under it:
+  operands and results cross the process boundary as shared-memory
+  descriptors, not pickles (``REPRO_SHM_THRESHOLD``).
 """
 
 from repro.runtime.api import ShardStat, run_batch, run_sharded
@@ -40,28 +48,52 @@ from repro.runtime.executor import (
     get_shared_executor,
     shutdown_shared_executors,
 )
+from repro.runtime.executor import (
+    PoolExecutor,
+    register_runtime_shutdown,
+    shutdown_shared_runtime,
+)
 from repro.runtime.merge import merge_partials
 from repro.runtime.planner import ShardPlan, plan_shards, slice_operands
+from repro.runtime.pool import (
+    PoolStats,
+    PoolUnavailableError,
+    WorkerPool,
+    get_shared_pool,
+    pool_key,
+    run_pooled,
+    shutdown_shared_pool,
+)
 from repro.runtime.supervisor import can_supervise, run_supervised
 
 __all__ = [
     "CircuitBreaker",
     "Executor",
+    "PoolExecutor",
+    "PoolStats",
+    "PoolUnavailableError",
     "ProcessExecutor",
     "SerialExecutor",
     "ShardPlan",
     "ShardStat",
     "ThreadExecutor",
+    "WorkerPool",
     "can_supervise",
     "circuit_breaker",
     "discard_shared_executor",
     "get_executor",
     "get_shared_executor",
+    "get_shared_pool",
     "merge_partials",
     "plan_shards",
+    "pool_key",
+    "register_runtime_shutdown",
     "run_batch",
+    "run_pooled",
     "run_sharded",
     "run_supervised",
     "shutdown_shared_executors",
+    "shutdown_shared_pool",
+    "shutdown_shared_runtime",
     "slice_operands",
 ]

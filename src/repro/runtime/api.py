@@ -104,16 +104,54 @@ def _maybe_discard(ex, exc: Exception) -> None:
 
 
 def _resolve_executor(kernel, executor: str) -> str:
-    """Downgrade ``process`` when the kernel cannot cross a process
-    boundary (no recipe: a FunctionInput binding holds an arbitrary
-    callable)."""
-    if executor == "process" and kernel.recipe is None:
+    """Downgrade ``process``/``pool`` when the kernel cannot cross a
+    process boundary (no recipe: a FunctionInput binding holds an
+    arbitrary callable)."""
+    if executor in ("process", "pool") and kernel.recipe is None:
         logger.warning(
             "kernel %r has no rebuild recipe (function-valued input); "
-            "downgrading the process executor to threads", kernel.name,
+            "downgrading the %s executor to threads", kernel.name, executor,
         )
         return "thread"
     return executor
+
+
+def _pool_deadline(kernel, supervised) -> Optional[float]:
+    """Wall deadline for pooled calls: pooled workers are always
+    crash-isolated, but the deadline kill is only armed when the
+    supervision policy asks for it (matching the fork supervisor)."""
+    if kernel._resolve_supervised(supervised):
+        return resilience.kernel_deadline()
+    return None
+
+
+def _pool_dispatch(ex, pool_mod, shm, kernel, shard_inputs, shard_dims,
+                   tensors, capacity, auto_grow, max_capacity, deadline):
+    """Submit every shard to the worker pool as shm descriptors.
+
+    Base operand tensors are exported once (memoized on the tensor);
+    each shard's views are described as byte windows into those
+    segments, so the per-shard pipe payload is a few hundred bytes of
+    descriptor regardless of operand size.
+    """
+    pool = pool_mod.get_shared_pool(ex.workers)
+    key = pool_mod.pool_key(kernel)
+    pool.register_recipe(key, kernel.recipe)
+    threshold = resilience.shm_threshold()
+    exports = {
+        name: shm.export_tensor(t, threshold) for name, t in tensors.items()
+    }
+    futures = []
+    for st, dims in zip(shard_inputs, shard_dims):
+        refs = {
+            name: shm.describe_tensor(t, exports.get(name))
+            for name, t in st.items()
+        }
+        futures.append(_submit(
+            ex, pool.run_call, key, refs, dims, capacity, auto_grow,
+            max_capacity, deadline, threshold,
+        ))
+    return futures
 
 
 def run_sharded(
@@ -177,18 +215,27 @@ def run_sharded(
     partials: List[object] = []
     stats: List[ShardStat] = []
     ex = get_shared_executor(executor, n_workers)
-    futures = []
-    for sk, st, dims in zip(shard_kernels, shard_inputs, shard_dims):
-        if ex.name == "process":
-            futures.append(_submit(
-                ex, worker_mod.run_shard_task, kernel.recipe, st, dims,
-                capacity, auto_grow, max_capacity,
-            ))
-        else:
-            futures.append(_submit(
-                ex, _local_task, sk, st, capacity, auto_grow, max_capacity,
-                supervised,
-            ))
+    if ex.name == "pool":
+        from repro.runtime import pool as pool_mod, shm
+
+        futures = _pool_dispatch(
+            ex, pool_mod, shm, kernel, shard_inputs, shard_dims, tensors,
+            capacity, auto_grow, max_capacity,
+            _pool_deadline(kernel, supervised),
+        )
+    else:
+        futures = []
+        for sk, st, dims in zip(shard_kernels, shard_inputs, shard_dims):
+            if ex.name == "process":
+                futures.append(_submit(
+                    ex, worker_mod.run_shard_task, kernel.recipe, st, dims,
+                    capacity, auto_grow, max_capacity,
+                ))
+            else:
+                futures.append(_submit(
+                    ex, _local_task, sk, st, capacity, auto_grow, max_capacity,
+                    supervised,
+                ))
     for i, (fut, (lo, hi)) in enumerate(zip(futures, plan.ranges)):
         retried = False
         failover = False
@@ -261,17 +308,36 @@ def run_batch(
     stats: List[ShardStat] = []
     ex = get_shared_executor(executor, n_workers)
     futures = []
-    for tensors in runs:
-        if ex.name == "process":
+    if ex.name == "pool":
+        from repro.runtime import pool as pool_mod, shm
+
+        pool = pool_mod.get_shared_pool(ex.workers)
+        key = pool_mod.pool_key(kernel)
+        pool.register_recipe(key, kernel.recipe)
+        threshold = resilience.shm_threshold()
+        deadline = _pool_deadline(kernel, None)
+        for tensors in runs:
+            refs = {
+                name: shm.describe_tensor(
+                    t, shm.export_tensor(t, threshold))
+                for name, t in tensors.items()
+            }
             futures.append(_submit(
-                ex, worker_mod.run_shard_task, kernel.recipe, tensors, None,
-                capacity, auto_grow, max_capacity,
+                ex, pool.run_call, key, refs, None, capacity, auto_grow,
+                max_capacity, deadline, threshold,
             ))
-        else:
-            futures.append(_submit(
-                ex, _local_task, kernel, tensors,
-                capacity, auto_grow, max_capacity,
-            ))
+    else:
+        for tensors in runs:
+            if ex.name == "process":
+                futures.append(_submit(
+                    ex, worker_mod.run_shard_task, kernel.recipe, tensors,
+                    None, capacity, auto_grow, max_capacity,
+                ))
+            else:
+                futures.append(_submit(
+                    ex, _local_task, kernel, tensors,
+                    capacity, auto_grow, max_capacity,
+                ))
     for i, (fut, tensors) in enumerate(zip(futures, runs)):
         retried = False
         try:

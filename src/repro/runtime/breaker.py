@@ -131,6 +131,21 @@ class CircuitBreaker:
     def state(self, key: str) -> str:
         return self.decide(key)
 
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Current per-key state, for observability surfaces (the
+        worker pool's :meth:`~repro.runtime.pool.WorkerPool.snapshot`
+        reports this next to its own per-key failure counters — the
+        breaker and the pool key off the same failures)."""
+        with self._lock:
+            out: Dict[str, Dict[str, object]] = {}
+            for key, rec in self._records.items():
+                out[key] = {
+                    "failures": rec.failures,
+                    "probes": rec.probes,
+                    "open": rec.is_open,
+                }
+            return out
+
     def reset(self) -> None:
         """Forget everything (tests)."""
         with self._lock:

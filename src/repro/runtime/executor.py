@@ -1,6 +1,6 @@
 """Executor backends behind one futures API.
 
-Three interchangeable backends run shard tasks:
+Four interchangeable backends run shard tasks:
 
 ``serial``
     Runs every task inline at submit time.  The debug oracle: identical
@@ -22,9 +22,26 @@ Three interchangeable backends run shard tasks:
     boundary as :class:`~repro.compiler.kernel.KernelRecipe`, never as
     compiled handles (see :mod:`repro.runtime.worker`).
 
+``pool``
+    The persistent pre-warmed :class:`~repro.runtime.pool.WorkerPool`
+    behind a thread front-end: each submitted task is a blocking
+    pipe round-trip to a resident worker (pipe waits release the GIL),
+    kernels stay loaded in the workers across calls, and operands
+    travel through the :mod:`repro.runtime.shm` zero-copy data plane.
+
 All backends bound their task queue: ``submit`` blocks once
 ``queue_bound`` tasks are in flight, so a large batch cannot marshal
 every operand set into memory at once.
+
+Teardown ordering: shared pools must drain and join their workers
+*before* interpreter shutdown tears the threading machinery down —
+a plain ``atexit`` hook runs after ``concurrent.futures`` has already
+broken its pools, which used to leave ``BrokenProcessPool`` noise and
+leaked-semaphore warnings behind.  :func:`register_runtime_shutdown`
+therefore registers :func:`shutdown_shared_runtime` via
+``threading._register_atexit`` — those callbacks run when the main
+thread finishes, before ``concurrent.futures`` reaps anything — with
+the ordinary ``atexit`` hook kept as an idempotent fallback.
 """
 
 from __future__ import annotations
@@ -149,6 +166,35 @@ class ProcessExecutor(Executor):
         self._pool.shutdown(wait=True)
 
 
+class PoolExecutor(Executor):
+    """Thread front-end over the shared persistent worker pool.
+
+    The submitted callables (``WorkerPool.run_call`` bound methods from
+    :mod:`repro.runtime.api`) block on a worker pipe; a thread per pool
+    worker is enough to keep every resident worker busy, and the pipe
+    waits release the GIL.  ``shutdown`` tears down only the thread
+    front-end — the shared :class:`~repro.runtime.pool.WorkerPool`
+    holds the warmed kernels and outlives any one executor.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: int, queue_bound: Optional[int] = None) -> None:
+        super().__init__(workers, queue_bound)
+        from repro.runtime import pool as pool_mod
+
+        self.pool = pool_mod.get_shared_pool(self.workers)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-pool"
+        )
+
+    def _submit(self, fn: Callable, *args, **kwargs) -> Future:
+        return self._threads.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        self._threads.shutdown(wait=True)
+
+
 def _repro_env() -> dict:
     """The ``REPRO_*`` knobs a worker must inherit verbatim.
 
@@ -173,6 +219,8 @@ def get_executor(
         return ThreadExecutor(n, queue_bound)
     if name == "process":
         return ProcessExecutor(n, queue_bound)
+    if name == "pool":
+        return PoolExecutor(n, queue_bound)
     logger.warning(
         "unknown executor %r (expected one of %s); using serial",
         name, list(resilience.KNOWN_EXECUTORS),
@@ -200,6 +248,7 @@ def get_shared_executor(name: str, workers: Optional[int] = None) -> Executor:
         if ex is None:
             ex = get_executor(name, n)
             _SHARED[key] = ex
+            register_runtime_shutdown()
         return ex
 
 
@@ -229,4 +278,73 @@ def shutdown_shared_executors() -> None:
         _SHARED.clear()
 
 
-atexit.register(shutdown_shared_executors)
+def shutdown_shared_runtime() -> None:
+    """Drain the whole shared runtime in dependency order: the worker
+    pool first (its workers are reached through executor threads), then
+    the executors.  Idempotent — both halves tolerate repeat calls, so
+    the ``atexit`` fallback after the early threading hook is a no-op.
+
+    Only the process that created the shared resources may drain them:
+    fork children inherit both the registries and the threading-atexit
+    registration, but the pools' manager threads do not survive the
+    fork, so a ``shutdown(wait=True)`` on an inherited executor would
+    block forever on a thread that is not running.
+    """
+    if _runtime_owner_pid is not None and _runtime_owner_pid != os.getpid():
+        return
+    try:
+        from repro.runtime import pool as pool_mod
+
+        pool_mod.shutdown_shared_pool()
+    except Exception:  # pragma: no cover - teardown must never raise
+        pass
+    shutdown_shared_executors()
+
+
+_runtime_owner_pid: Optional[int] = None
+
+
+def register_runtime_shutdown() -> None:
+    """Register :func:`shutdown_shared_runtime` to run when the main
+    thread finishes — *before* ``concurrent.futures`` reaps its pools —
+    so shared workers drain and join instead of being found broken.
+
+    ``threading._register_atexit`` callbacks run in reverse
+    registration order; this registration happens at first shared-pool
+    creation, i.e. after ``concurrent.futures`` registered its own
+    hook at import, so ours runs first.  Registered once per process —
+    a fork child that builds its own shared pools registers afresh
+    (its inherited registration is disarmed by the owner-pid check).
+    """
+    global _runtime_owner_pid
+    if _runtime_owner_pid == os.getpid():
+        return
+    _runtime_owner_pid = os.getpid()
+    try:
+        threading._register_atexit(shutdown_shared_runtime)
+    except Exception:
+        # interpreter already shutting down (or a Python without the
+        # private hook): the atexit fallback below still runs
+        pass
+
+
+def _forget_inherited_runtime() -> None:
+    """Drop shared-runtime state inherited across a ``fork``.
+
+    The child must neither reuse nor tear down the parent's pools (the
+    parent still owns their processes and manager threads); clearing the
+    registries means a child that wants parallelism builds its own.
+    """
+    global _runtime_owner_pid
+    _runtime_owner_pid = None
+    _SHARED.clear()
+    try:
+        from repro.runtime import pool as pool_mod
+
+        pool_mod._shared = None
+    except Exception:  # pragma: no cover - import cycles at fork time
+        pass
+
+
+os.register_at_fork(after_in_child=_forget_inherited_runtime)
+atexit.register(shutdown_shared_runtime)

@@ -1,0 +1,462 @@
+"""Zero-copy operand/result transport over POSIX shared memory.
+
+The sharded runtime's process boundary used to be pickle: every shard
+call serialized its operand arrays into the pipe and the worker
+deserialized fresh copies.  This module replaces that with
+:class:`multiprocessing.shared_memory.SharedMemory` segments plus small
+picklable *descriptors*:
+
+* the parent exports a tensor's backing arrays **once** into one
+  segment (:func:`export_tensor`, cached on the tensor object);
+* per-shard operand views are described, not copied —
+  :func:`describe_tensor` maps each numpy view onto a byte window of
+  the already-exported base segment (``slice_outer`` returns views of
+  the base arrays, so the window is just an offset shift); only the
+  O(shards) rebased outer ``pos``/``crd`` arrays travel inline;
+* the worker reconstructs the tensor as ``np.frombuffer`` views over
+  the attached segment (:func:`open_ref`) — no copy on that side
+  either;
+* large results come back the same way: the worker packs them into a
+  segment whose name the *parent* chose up front
+  (:func:`export_result`), so the parent can clean up deterministically
+  even when the worker is killed mid-call.
+
+Ownership rules (the reason no segment ever leaks):
+
+* every segment has exactly one *unlink owner* — the parent process.
+  Operand segments are unlinked when their tensor is garbage collected
+  (a ``weakref.finalize`` on the tensor) and swept again at interpreter
+  exit; result segments are unlinked by the parent immediately after
+  attaching (POSIX keeps the mapping valid until the last ``close``),
+  or on the error path by name;
+* workers only ever ``close`` their attachments, never unlink;
+* fork and spawn children share the parent's ``resource_tracker``
+  (multiprocessing passes the tracker fd), so the create-side
+  registration is balanced by the single parent-side unlink — a dying
+  worker cannot trigger a tracker sweep of live segments.
+
+``close()`` raises :class:`BufferError` while numpy views still export
+the mapped buffer; every close in this module tolerates that — the
+mapping then lives exactly as long as the views, which is the point.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler import resilience
+from repro.data.tensor import Tensor
+
+#: alignment of each packed array inside a segment (cache-line)
+_ALIGN = 64
+
+#: attribute under which a tensor memoizes its export
+_EXPORT_ATTR = "_repro_shm_export"
+
+#: worker-side attachment cache bound — oldest attachments are closed
+#: (tolerantly) once more names than this have been seen
+_ATTACH_BOUND = 128
+
+_seq_lock = threading.Lock()
+_seq = 0
+
+
+def _fresh_name(tag: str = "") -> str:
+    """A segment name unique within this process's lifetime."""
+    global _seq
+    with _seq_lock:
+        _seq += 1
+        n = _seq
+    return f"repro_{os.getpid()}_{tag}{n}"
+
+
+def _close_quiet(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.close()
+    except BufferError:
+        # numpy views still export the buffer: the mapping must outlive
+        # them.  Disarm the segment object so its __del__ cannot re-raise
+        # at GC time — the views hold their own reference to the
+        # memoryview/mmap chain, which releases the mapping when the
+        # last view dies; only the fd is closed here.
+        seg._buf = None
+        seg._mmap = None
+        fd = getattr(seg, "_fd", -1)
+        if fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+            seg._fd = -1
+    except OSError:
+        pass
+
+
+def _unlink_quiet(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# descriptors: what actually crosses the pipe
+# ----------------------------------------------------------------------
+@dataclass
+class ArrayRef:
+    """One array of a tensor: either a byte window into a segment
+    (``offset >= 0``) or an inline numpy payload."""
+
+    dtype: str
+    length: int
+    offset: int = -1
+    data: Optional[np.ndarray] = None
+
+
+@dataclass
+class TensorRef:
+    """A picklable description of a tensor whose big arrays live in a
+    shared-memory segment."""
+
+    attrs: Tuple[str, ...]
+    formats: Tuple[str, ...]
+    dims: Tuple[int, ...]
+    semiring: object
+    segment: Optional[str]
+    vals: ArrayRef = None  # type: ignore[assignment]
+    pos: Dict[int, ArrayRef] = field(default_factory=dict)
+    crd: Dict[int, ArrayRef] = field(default_factory=dict)
+
+    def nbytes_window(self) -> int:
+        """Bytes referenced through the segment (0 when fully inline)."""
+        total = 0
+        for ref in [self.vals, *self.pos.values(), *self.crd.values()]:
+            if ref.offset >= 0:
+                total += np.dtype(ref.dtype).itemsize * ref.length
+        return total
+
+
+# ----------------------------------------------------------------------
+# parent side: export base tensors, describe shard views
+# ----------------------------------------------------------------------
+@dataclass
+class _Span:
+    """Where one source array was copied to: its original address range
+    (for window detection on views) and its offset in the segment."""
+
+    base_addr: int
+    nbytes: int
+    dtype: str
+    seg_offset: int
+
+
+class TensorExport:
+    """One tensor's arrays packed into one shared-memory segment.
+
+    Created by :func:`export_tensor` and memoized on the tensor; the
+    parent is the unlink owner (tensor finalizer + atexit sweep).
+    """
+
+    def __init__(self, tensor: Tensor) -> None:
+        arrays = _tensor_arrays(tensor)
+        offsets: List[int] = []
+        total = 0
+        for _key, arr in arrays:
+            total = _aligned(total)
+            offsets.append(total)
+            total += arr.nbytes
+        self.name = _fresh_name()
+        self.segment = shared_memory.SharedMemory(
+            name=self.name, create=True, size=max(1, total)
+        )
+        self.spans: List[_Span] = []
+        for (key, arr), off in zip(arrays, offsets):
+            dst = np.frombuffer(
+                self.segment.buf, dtype=arr.dtype, count=arr.size, offset=off
+            )
+            dst[:] = arr
+            self.spans.append(_Span(
+                base_addr=_addr(arr), nbytes=arr.nbytes,
+                dtype=np.dtype(arr.dtype).str, seg_offset=off,
+            ))
+        self._released = False
+
+    def locate(self, arr: np.ndarray) -> Optional[int]:
+        """Segment offset of a view into one of the exported source
+        arrays, or None when ``arr`` is not such a view."""
+        if arr.size and not arr.flags["C_CONTIGUOUS"]:
+            return None
+        addr, nbytes, dt = _addr(arr), arr.nbytes, np.dtype(arr.dtype).str
+        for span in self.spans:
+            if (span.dtype == dt and span.base_addr <= addr
+                    and addr + nbytes <= span.base_addr + span.nbytes):
+                return span.seg_offset + (addr - span.base_addr)
+        return None
+
+    def release(self) -> None:
+        """Unlink and close; idempotent."""
+        if self._released:
+            return
+        self._released = True
+        _EXPORTS.pop(self.name, None)
+        _unlink_quiet(self.segment)
+        _close_quiet(self.segment)
+
+
+def _tensor_arrays(t: Tensor) -> List[Tuple[str, np.ndarray]]:
+    out: List[Tuple[str, np.ndarray]] = [("vals", t.vals)]
+    for k in sorted(t.pos):
+        out.append((f"pos{k}", t.pos[k]))
+    for k in sorted(t.crd):
+        out.append((f"crd{k}", t.crd[k]))
+    return out
+
+
+def _aligned(off: int) -> int:
+    return (off + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _addr(arr: np.ndarray) -> int:
+    return arr.__array_interface__["data"][0]
+
+
+def tensor_bytes(t: Tensor) -> int:
+    """Total backing-array bytes of a tensor (the shm-threshold gauge)."""
+    return sum(int(a.nbytes) for _k, a in _tensor_arrays(t))
+
+
+#: live exports by segment name, for the atexit sweep
+_EXPORTS: Dict[str, TensorExport] = {}
+
+
+def export_tensor(tensor: Tensor, threshold: Optional[int] = None,
+                  ) -> Optional[TensorExport]:
+    """Export a tensor's arrays into one segment, memoized on the
+    tensor.
+
+    Returns None when the tensor is smaller than the shm threshold
+    (``REPRO_SHM_THRESHOLD``) — small operands pickle faster than they
+    map.  The export assumes the tensor's arrays are not mutated
+    afterwards, which holds for every tensor this package builds.
+    """
+    cached = getattr(tensor, _EXPORT_ATTR, None)
+    if cached is not None and not cached._released:
+        return cached
+    threshold = resilience.shm_threshold() if threshold is None else threshold
+    if tensor_bytes(tensor) < threshold:
+        return None
+    export = TensorExport(tensor)
+    _EXPORTS[export.name] = export
+    setattr(tensor, _EXPORT_ATTR, export)
+    weakref.finalize(tensor, TensorExport.release, export)
+    return export
+
+
+def describe_tensor(tensor: Tensor,
+                    export: Optional[TensorExport]) -> TensorRef:
+    """A picklable ref for a tensor (typically a ``slice_outer`` shard
+    view of an exported base tensor).
+
+    Arrays that are views into the export's source arrays become byte
+    windows; everything else (the small rebased outer ``pos``/``crd``,
+    or all arrays when ``export`` is None) travels inline.
+    """
+    used_segment = False
+
+    def ref(arr: np.ndarray) -> ArrayRef:
+        nonlocal used_segment
+        dt = np.dtype(arr.dtype).str
+        if export is not None:
+            off = export.locate(arr)
+            if off is not None:
+                used_segment = True
+                return ArrayRef(dtype=dt, length=int(arr.size), offset=off)
+        return ArrayRef(dtype=dt, length=int(arr.size),
+                        data=np.ascontiguousarray(arr))
+    vals = ref(tensor.vals)
+    pos = {k: ref(a) for k, a in tensor.pos.items()}
+    crd = {k: ref(a) for k, a in tensor.crd.items()}
+    return TensorRef(
+        attrs=tensor.attrs, formats=tensor.formats, dims=tensor.dims,
+        semiring=tensor.semiring,
+        segment=export.name if (export is not None and used_segment) else None,
+        vals=vals, pos=pos, crd=crd,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker side: reconstruct tensors as views, export results
+# ----------------------------------------------------------------------
+_attached: Dict[str, shared_memory.SharedMemory] = {}
+_attach_lock = threading.Lock()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    with _attach_lock:
+        seg = _attached.get(name)
+        if seg is None:
+            seg = shared_memory.SharedMemory(name=name)
+            _attached[name] = seg
+            while len(_attached) > _ATTACH_BOUND:
+                old_name, old = next(iter(_attached.items()))
+                del _attached[old_name]
+                _close_quiet(old)
+        return seg
+
+
+def open_ref(ref: TensorRef) -> Tensor:
+    """Reconstruct a tensor from its ref — windows become views over
+    the attached segment, nothing is copied."""
+    seg = _attach(ref.segment) if ref.segment is not None else None
+
+    def arr(aref: ArrayRef) -> np.ndarray:
+        if aref.offset < 0:
+            return aref.data
+        return np.frombuffer(
+            seg.buf, dtype=np.dtype(aref.dtype), count=aref.length,
+            offset=aref.offset,
+        )
+    return Tensor(
+        ref.attrs, ref.formats, ref.dims,
+        {k: arr(a) for k, a in ref.pos.items()},
+        {k: arr(a) for k, a in ref.crd.items()},
+        arr(ref.vals), ref.semiring,
+    )
+
+
+def close_attachments() -> None:
+    """Drop the attachment cache (worker exit path)."""
+    with _attach_lock:
+        for seg in _attached.values():
+            _close_quiet(seg)
+        _attached.clear()
+
+
+ResultPayload = Tuple[str, object]  # ("val", obj) | ("ref", TensorRef)
+
+
+def export_result(result: object, name: str,
+                  threshold: int) -> ResultPayload:
+    """Worker side: pack a large tensor result into the parent-named
+    segment ``name``; small results and scalars return inline."""
+    if not isinstance(result, Tensor) or tensor_bytes(result) < threshold:
+        return ("val", result)
+    arrays = _tensor_arrays(result)
+    offsets: List[int] = []
+    total = 0
+    for _key, arr in arrays:
+        total = _aligned(total)
+        offsets.append(total)
+        total += arr.nbytes
+    seg = shared_memory.SharedMemory(name=name, create=True,
+                                     size=max(1, total))
+    refs: Dict[str, ArrayRef] = {}
+    for (key, arr), off in zip(arrays, offsets):
+        dst = np.frombuffer(seg.buf, dtype=arr.dtype, count=arr.size,
+                            offset=off)
+        dst[:] = arr.ravel()
+        refs[key] = ArrayRef(dtype=np.dtype(arr.dtype).str,
+                             length=int(arr.size), offset=off)
+    _close_quiet(seg)  # the parent holds the unlink; our mapping is done
+    tref = TensorRef(
+        attrs=result.attrs, formats=result.formats, dims=result.dims,
+        semiring=result.semiring, segment=name,
+        vals=refs["vals"],
+        pos={k: refs[f"pos{k}"] for k in result.pos},
+        crd={k: refs[f"crd{k}"] for k in result.crd},
+    )
+    return ("ref", tref)
+
+
+def adopt_result(payload: ResultPayload) -> object:
+    """Parent side: materialize a worker's result payload.
+
+    Inline values pass through.  Segment-backed results are attached,
+    wrapped as numpy views, and the segment is unlinked *immediately* —
+    the POSIX mapping stays valid until the last close, and a finalizer
+    on the tensor closes our mapping when the result dies.
+    """
+    kind, value = payload
+    if kind == "val":
+        return value
+    ref: TensorRef = value
+    seg = shared_memory.SharedMemory(name=ref.segment)
+    _unlink_quiet(seg)
+
+    def arr(aref: ArrayRef) -> np.ndarray:
+        if aref.offset < 0:
+            return aref.data
+        return np.frombuffer(
+            seg.buf, dtype=np.dtype(aref.dtype), count=aref.length,
+            offset=aref.offset,
+        )
+    tensor = Tensor(
+        ref.attrs, ref.formats, ref.dims,
+        {k: arr(a) for k, a in ref.pos.items()},
+        {k: arr(a) for k, a in ref.crd.items()},
+        arr(ref.vals), ref.semiring,
+    )
+    weakref.finalize(tensor, _close_quiet, seg)
+    return tensor
+
+
+def unlink_by_name(name: str) -> bool:
+    """Best-effort unlink of a segment by name (crash/timeout cleanup
+    of a result the worker may or may not have created).  Returns
+    whether a segment existed."""
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+    _unlink_quiet(seg)
+    _close_quiet(seg)
+    return True
+
+
+def result_name() -> str:
+    """A parent-chosen name for one call's result segment."""
+    return _fresh_name("r")
+
+
+def live_export_count() -> int:
+    """Number of operand exports this process still owns (tests)."""
+    return len(_EXPORTS)
+
+
+def release_all_exports() -> None:
+    """Unlink every live operand export (interpreter-exit sweep; also
+    the big hammer for tests that assert ``/dev/shm`` cleanliness)."""
+    for export in list(_EXPORTS.values()):
+        export.release()
+
+
+atexit.register(release_all_exports)
+
+__all__ = [
+    "ArrayRef",
+    "TensorRef",
+    "TensorExport",
+    "adopt_result",
+    "close_attachments",
+    "describe_tensor",
+    "export_result",
+    "export_tensor",
+    "live_export_count",
+    "open_ref",
+    "release_all_exports",
+    "result_name",
+    "tensor_bytes",
+    "unlink_by_name",
+]

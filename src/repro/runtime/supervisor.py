@@ -32,6 +32,18 @@ spawned child that rebuilds from the kernel's picklable
 :class:`~repro.compiler.kernel.KernelRecipe` through the two-tier disk
 cache (the same path as the process-pool workers), so the compiled
 artifact is a cache read, never a recompile.
+
+Amortized mode: under ``REPRO_POOL=1`` a recipe-carrying kernel routes
+through the persistent :mod:`repro.runtime.pool` instead of forking a
+fresh child per call — same typed-error contract, but the sandbox cost
+(process start, rlimits, kernel load) is paid once per worker, not per
+call.  The routing is opt-in because the semantics differ in one
+deliberate way: the fork child inherits the parent's **in-memory**
+kernel handle (including any in-process monkeypatching — the
+fault-injection suite depends on that), while a pooled worker rebuilds
+the genuine kernel from its recipe.  A per-call ``mem_mb`` override
+also pins the fork path, since pool workers apply their rlimit once at
+spawn.
 """
 
 from __future__ import annotations
@@ -160,6 +172,17 @@ def can_supervise(kernel) -> bool:
     return getattr(kernel, "recipe", None) is not None
 
 
+def _pool_route(kernel, mem_mb) -> bool:
+    """Whether this supervised call should be served by the persistent
+    pool: ``REPRO_POOL`` on, a recipe to rebuild from, and no per-call
+    memory override (pool rlimits are fixed at worker spawn)."""
+    return (
+        mem_mb is None
+        and resilience.pool_enabled()
+        and getattr(kernel, "recipe", None) is not None
+    )
+
+
 def run_supervised(
     kernel,
     tensors,
@@ -184,6 +207,19 @@ def run_supervised(
       (``CapacityError`` with its sizing metadata, ``ShapeError``, ...),
       re-raised in the parent.
     """
+    if _pool_route(kernel, mem_mb):
+        from repro.runtime import pool as pool_mod
+
+        try:
+            return pool_mod.run_pooled(
+                kernel, tensors, capacity, auto_grow=auto_grow,
+                max_capacity=max_capacity, deadline=deadline,
+            )
+        except pool_mod.PoolUnavailableError as exc:
+            logger.warning(
+                "kernel %r: pool route unavailable (%s); falling back to "
+                "the fork-per-call supervisor", kernel.name, exc,
+            )
     deadline = deadline if deadline is not None else resilience.kernel_deadline()
     mem_mb = mem_mb if mem_mb is not None else resilience.kernel_mem_mb()
     ctx = _supervise_context()

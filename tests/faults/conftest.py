@@ -53,6 +53,11 @@ def isolated_build_state(tmp_path, monkeypatch):
     resilience.reset_probe_cache()
     yield
     resilience.reset_probe_cache()
+    # pool workers pin the cache dir at spawn — a pool surviving into
+    # the next test would read this test's (deleted) tmp directory
+    from repro.runtime import pool as pool_mod
+
+    pool_mod.shutdown_shared_pool()
 
 
 @pytest.fixture

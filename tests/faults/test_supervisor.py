@@ -56,6 +56,16 @@ def clean_breaker():
     breaker_mod.breaker.reset()
 
 
+@pytest.fixture(autouse=True)
+def pin_fork_supervision(monkeypatch):
+    """These tests sabotage the *in-memory* kernel handle and rely on
+    the fork child inheriting it; the pooled supervisor would rebuild
+    the genuine kernel from its recipe and never see the sabotage.  Pin
+    the fork-per-call path regardless of the ambient ``REPRO_POOL``
+    (the CI pool job sets it for the whole suite)."""
+    monkeypatch.setenv(resilience.ENV_POOL, "0")
+
+
 def _build(problem=spmv_problem, backend="python", **kw):
     ctx, expr, out, tensors = problem()
     kernel = compile_kernel(

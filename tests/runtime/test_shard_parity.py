@@ -161,3 +161,32 @@ def test_thread_executor_matches_serial_oracle(problem):
 def test_check_shard_parity_checker(problem):
     kernel, tensors, shards = problem
     assert check_shard_parity(kernel, tensors, shards=shards)
+
+
+@settings(max_examples=15, deadline=None)
+@given(problem=shard_problems())
+def test_pool_executor_matches_serial_oracle(problem):
+    """The pooled zero-copy path is bit-identical to the serial oracle.
+
+    ``REPRO_SHM_THRESHOLD=0`` forces every operand and result through
+    the shared-memory data plane (the generated problems are small and
+    would otherwise ship inline), so this exercises export → window
+    description → worker-side view reconstruction → in-place result
+    adoption across all four semirings and both split kinds.
+    """
+    import os
+
+    kernel, tensors, shards = problem
+    oracle = _canon(kernel.run_sharded(
+        tensors, executor="serial", shards=shards))
+    prior = os.environ.get("REPRO_SHM_THRESHOLD")
+    os.environ["REPRO_SHM_THRESHOLD"] = "0"
+    try:
+        pooled = _canon(kernel.run_sharded(
+            tensors, executor="pool", shards=shards, workers=2))
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_SHM_THRESHOLD", None)
+        else:
+            os.environ["REPRO_SHM_THRESHOLD"] = prior
+    assert pooled == oracle
