@@ -401,17 +401,29 @@ def parallel(quick: bool) -> None:
 # ----------------------------------------------------------------------
 def deltas(quick: bool = False) -> None:
     """Cross-PR benchmark comparison: BENCH_PR6 vs the PR 4/PR 5
-    baselines, with non-representative (single-CPU) reports flagged."""
+    baselines, with non-representative (single-CPU) reports flagged.
+
+    Tolerant of missing or partially-written reports: a benchmark run
+    interrupted mid-suite leaves a valid-JSON file with some workloads
+    or metrics absent, and a half-written file may not parse at all —
+    every lookup below degrades to "skip that row", never a crash."""
     import json
     import os
     from pathlib import Path
 
     root = Path(__file__).resolve().parents[1]
     reports = {}
-    for tag in ("PR4", "PR5", "PR6"):
+    for tag in ("PR4", "PR5", "PR6", "serve"):
         path = root / f"BENCH_{tag}.json"
-        if path.exists():
-            reports[tag] = json.loads(path.read_text())
+        if not path.exists():
+            continue
+        try:
+            loaded = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"[skipping unreadable {path.name}: {exc}]")
+            continue
+        if isinstance(loaded, dict):
+            reports[tag] = loaded
 
     header("Benchmark deltas across PRs (BENCH_PR4/PR5/PR6.json)")
     if not reports:
@@ -419,6 +431,8 @@ def deltas(quick: bool = False) -> None:
               "first")
         return
     for tag, rep in reports.items():
+        if tag == "serve":
+            continue      # rendered by its own section below
         cpus = rep.get("cpus", "?")
         flag = ("" if isinstance(cpus, int) and cpus >= 2 else
                 "  [NON-REPRESENTATIVE: single CPU — speedups are "
@@ -434,31 +448,86 @@ def deltas(quick: bool = False) -> None:
         print(f"\n{'workload':<10}{'metric':<34}{'PR4/PR5':>12}"
               f"{'PR6':>12}{'change':>10}")
         for wl, r6 in pr6.items():
+            if not isinstance(r6, dict):
+                continue
             rows = []
             r4 = pr4.get(wl, {})
-            if "seconds" in r4 and "process_2" in r4["seconds"]:
+            pool_2 = r6.get("seconds", {}).get("pool_2")
+            if "process_2" in r4.get("seconds", {}) and pool_2 is not None:
                 rows.append((
                     "process-shard x2 (s) -> pool x2",
                     r4["seconds"]["process_2"],
-                    r6["seconds"]["pool_2"],
+                    pool_2,
                 ))
             r5 = pr5.get(wl, {})
-            if "slowdown" in r5:
+            pool_warm = r6.get("supervised_slowdown", {}).get("pool_warm")
+            if "slowdown" in r5 and pool_warm is not None:
                 rows.append((
                     "supervised slowdown fork -> pool",
                     r5["slowdown"],
-                    r6["supervised_slowdown"]["pool_warm"],
+                    pool_warm,
                 ))
             for label, old, new in rows:
                 change = (f"{old / new:>9.2f}x" if new else "      n/a")
                 print(f"{wl:<10}{label:<34}{old:>12.4f}{new:>12.4f}"
                       f"{change}")
-            print(f"{wl:<10}{'pool beats process dispatch by':<34}"
-                  f"{'':>12}{r6['pool_vs_process']:>11.2f}x")
+            if "pool_vs_process" in r6:
+                print(f"{wl:<10}{'pool beats process dispatch by':<34}"
+                      f"{'':>12}{r6['pool_vs_process']:>11.2f}x")
         print("\n(PR4/PR5 numbers were measured per-call: spawn + pickle "
               "per shard, fork per\nsupervised run.  PR6 amortizes both "
               "into resident pooled workers with\nshared-memory "
               "operands.)")
+
+    _serve_section(reports.get("serve"))
+
+
+def _serve_section(rep) -> None:
+    """Render BENCH_serve.json (tests/serve/test_load.py): latency
+    percentiles unloaded vs under 2x-QPS overload, shed behavior, and
+    the SIGTERM drain timing.  Partial reports print what they have."""
+    if not rep:
+        return
+    results = rep.get("results")
+    if not isinstance(results, dict) or not results:
+        return
+    header("Serving layer (BENCH_serve.json)")
+    print(f"admission: qps={rep.get('qps', '?')}, "
+          f"burst={rep.get('burst', '?')}, cpus={rep.get('cpus', '?')}, "
+          f"generated={rep.get('generated', '?')}")
+
+    lat_rows = []
+    unloaded = results.get("unloaded")
+    if isinstance(unloaded, dict):
+        lat_rows.append(("unloaded", unloaded))
+    overload = results.get("overload", {})
+    if isinstance(overload, dict):
+        admitted = overload.get("admitted_latency")
+        if isinstance(admitted, dict):
+            lat_rows.append(("admitted @ 2x QPS", admitted))
+        shed = overload.get("shed_latency")
+        if isinstance(shed, dict):
+            lat_rows.append(("shed (429/503)", shed))
+    if lat_rows:
+        print(f"\n{'phase':<20}{'n':>6}{'p50 ms':>10}{'p90 ms':>10}"
+              f"{'p99 ms':>10}")
+        for label, row in lat_rows:
+            print(f"{label:<20}{row.get('count', 0):>6}"
+                  f"{row.get('p50_ms', float('nan')):>10.2f}"
+                  f"{row.get('p90_ms', float('nan')):>10.2f}"
+                  f"{row.get('p99_ms', float('nan')):>10.2f}")
+    if isinstance(overload, dict) and "offered" in overload:
+        print(f"\noverload: offered {overload['offered']} "
+              f"({overload.get('offered_qps', '?')} qps) -> "
+              f"{overload.get('admitted', '?')} admitted, "
+              f"{overload.get('shed', '?')} shed "
+              f"(statuses {overload.get('shed_statuses', [])})")
+    drain = results.get("drain")
+    if isinstance(drain, dict):
+        print(f"drain: SIGTERM -> exit {drain.get('exit_code', '?')} in "
+              f"{drain.get('elapsed_s', '?')}s "
+              f"(budget {drain.get('budget_s', '?')}s, in-flight "
+              f"completed: {drain.get('in_flight_completed', '?')})")
 
 
 def main() -> None:

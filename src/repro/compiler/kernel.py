@@ -234,9 +234,21 @@ class Kernel:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         supervised: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> Union[Tensor, float, int, bool]:
         """Execute on concrete tensors; returns the output tensor (or a
         scalar for shape-∅ kernels).
+
+        ``deadline`` is a per-call wall-clock budget in seconds.  It is
+        honored wherever execution is crash-isolated — the fork
+        supervisor and the worker pool kill the child and raise
+        :class:`~repro.errors.KernelTimeoutError` when the budget runs
+        out — and overrides the ambient ``REPRO_KERNEL_DEADLINE``
+        default for this call only.  An unsupervised in-process run has
+        no one to enforce it, so there it is advisory (ignored).  The
+        serving layer threads each request's remaining budget through
+        here so a queue-delayed request never runs longer than its
+        client is still waiting.
 
         ``supervised=True`` runs the kernel in an isolated,
         resource-capped child process (see
@@ -290,10 +302,11 @@ class Kernel:
                 workers=workers if workers is not None else self.workers,
                 shards=shards,
                 supervised=supervised,
+                deadline=deadline,
             )
         return self._run_guarded(
             tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity,
-            supervised=supervised,
+            supervised=supervised, deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -320,8 +333,13 @@ class Kernel:
         auto_grow: bool = False,
         max_capacity: Optional[int] = None,
         supervised: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> Union[Tensor, float, int, bool]:
-        """The single-run entry that applies the supervision policy."""
+        """The single-run entry that applies the supervision policy.
+
+        ``deadline`` reaches the child only on the supervised path;
+        in-process runs cannot be interrupted, so it is dropped there.
+        """
         if not self._resolve_supervised(supervised):
             return self._run_single(
                 tensors, capacity, auto_grow=auto_grow,
@@ -340,7 +358,8 @@ class Kernel:
                 max_capacity=max_capacity,
             )
         return self._run_supervised(
-            tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity
+            tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity,
+            deadline=deadline,
         )
 
     def _run_supervised(
@@ -350,6 +369,7 @@ class Kernel:
         *,
         auto_grow: bool,
         max_capacity: Optional[int],
+        deadline: Optional[float] = None,
     ) -> Union[Tensor, float, int, bool]:
         """One supervised run, routed through the circuit breaker.
 
@@ -372,7 +392,7 @@ class Kernel:
 
         key = self.cache_key or f"uncached:{self.name}"
         brk = breaker_mod.breaker
-        state = brk.decide(key)
+        state = brk.try_probe(key)
         if state == breaker_mod.OPEN:
             return self._run_fallback(
                 tensors, capacity, auto_grow=auto_grow,
@@ -384,12 +404,17 @@ class Kernel:
                 "kernel %r: circuit breaker half-open; re-probing the "
                 "supervised kernel", self.name,
             )
+        resolved = False
         try:
             result = run_supervised(
                 self, tensors, capacity, auto_grow=auto_grow,
-                max_capacity=max_capacity,
+                max_capacity=max_capacity, deadline=deadline,
             )
+            resolved = True
+            brk.record_success(key, name=self.name, probe=probe)
+            return result
         except (KernelCrashError, KernelTimeoutError) as exc:
+            resolved = True
             brk.record_failure(key, name=self.name, probe=probe)
             if probe:
                 return self._run_fallback(
@@ -397,8 +422,12 @@ class Kernel:
                     max_capacity=max_capacity, cause=exc,
                 )
             raise
-        brk.record_success(key, name=self.name, probe=probe)
-        return result
+        finally:
+            if probe and not resolved:
+                # a typed child error (CapacityError, ShapeError, ...)
+                # neither closes nor re-opens the breaker, but the
+                # probe claim must not stay wedged in flight
+                brk.release_probe(key)
 
     def _fallback_kernel(self) -> Optional["Kernel"]:
         """The memoized pure-Python twin of this kernel (None when there
@@ -559,6 +588,7 @@ class Kernel:
         split_attr: Optional[str] = None,
         supervised: Optional[bool] = None,
         stats_out: Optional[List] = None,
+        deadline: Optional[float] = None,
     ) -> Union[Tensor, float, int, bool]:
         """Partition the operands, execute per shard, ⊕-merge.
 
@@ -577,7 +607,7 @@ class Kernel:
             self, tensors, capacity=capacity, auto_grow=auto_grow,
             max_capacity=max_capacity, executor=executor, workers=workers,
             shards=shards, split_attr=split_attr, supervised=supervised,
-            stats_out=stats_out,
+            stats_out=stats_out, deadline=deadline,
         )
 
     def run_batch(
@@ -589,6 +619,7 @@ class Kernel:
         max_capacity: Optional[int] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> list:
         """Execute this kernel over many independent input bindings.
 
@@ -601,6 +632,7 @@ class Kernel:
         return _run_batch(
             self, runs, capacity=capacity, auto_grow=auto_grow,
             max_capacity=max_capacity, executor=executor, workers=workers,
+            deadline=deadline,
         )
 
     def _marshal_inputs(self, tensors: Mapping[str, Tensor]) -> Dict[str, object]:
@@ -864,14 +896,25 @@ class KernelBuilder:
         self.parallel = parallel
         self.workers = workers
 
-    def build(
+    def prepare(
         self,
         expr: Expr,
         inputs: Mapping[str, InputLike],
         output: Optional[OutputSpec] = None,
         name: str = "kernel",
         attr_dims: Optional[Mapping[str, int]] = None,
-    ) -> Kernel:
+    ) -> Tuple[Dict[str, Union[TensorInput, FunctionInput]], Dict[str, int], Optional[str]]:
+        """Validate a build request and compute its cache key *without*
+        compiling anything.
+
+        Returns ``(specs, dims, key)``; ``key`` is ``None`` when the
+        builder runs uncached.  This is the admission-control hook for
+        the serving layer: the key identifies the kernel the request
+        *would* build, so a query whose kernel the circuit breaker has
+        quarantined can be rejected before any compile or fork happens.
+        Every validation error (bad names, shape mismatches) raises
+        here exactly as :meth:`build` would.
+        """
         if not _IDENT.match(name) or name.startswith("_"):
             raise ValueError(
                 f"kernel name {name!r} is not a valid identifier (leading "
@@ -914,6 +957,30 @@ class KernelBuilder:
                 opt_level=self.opt_level, vectorize=self.vectorize,
                 name=name, attr_dims=dims, sanitize=self.sanitize,
             )
+        return specs, dims, key
+
+    def cache_key(
+        self,
+        expr: Expr,
+        inputs: Mapping[str, InputLike],
+        output: Optional[OutputSpec] = None,
+        name: str = "kernel",
+        attr_dims: Optional[Mapping[str, int]] = None,
+    ) -> Optional[str]:
+        """The canonical cache key of the kernel :meth:`build` would
+        produce — computable before (and without) compiling."""
+        return self.prepare(expr, inputs, output, name, attr_dims)[2]
+
+    def build(
+        self,
+        expr: Expr,
+        inputs: Mapping[str, InputLike],
+        output: Optional[OutputSpec] = None,
+        name: str = "kernel",
+        attr_dims: Optional[Mapping[str, int]] = None,
+    ) -> Kernel:
+        specs, dims, key = self.prepare(expr, inputs, output, name, attr_dims)
+        if key is not None:
             cached = kernel_cache.lookup(key)
             if cached is not None:
                 return self._attach_runtime(cached, expr, specs, output, name,

@@ -100,6 +100,7 @@ ENV_POOL_WORKERS = "REPRO_POOL_WORKERS"
 ENV_POOL_WARM = "REPRO_POOL_WARM"
 ENV_POOL_IDLE_TTL = "REPRO_POOL_IDLE_TTL"
 ENV_SHM_THRESHOLD = "REPRO_SHM_THRESHOLD"
+ENV_STRICT_ENV = "REPRO_STRICT_ENV"
 
 DEFAULT_GCC_TIMEOUT = 120.0
 DEFAULT_KERNEL_DEADLINE = 60.0
@@ -111,6 +112,98 @@ DEFAULT_POOL_IDLE_TTL = 300.0
 DEFAULT_SHM_THRESHOLD = 16384
 
 _FALSEY = ("0", "off", "no", "false")
+
+
+# ----------------------------------------------------------------------
+# typed environment parsing
+# ----------------------------------------------------------------------
+def strict_env() -> bool:
+    """Whether an unparsable ``REPRO_*`` value raises a typed
+    :class:`~repro.errors.ConfigError` at read time instead of the
+    default warn-and-use-default policy (``REPRO_STRICT_ENV``, default
+    off).  Deployments that would rather fail to boot than run with a
+    silently ignored knob set this; the ``REPRO_SERVE_*`` family is
+    always strict."""
+    raw = os.environ.get(ENV_STRICT_ENV, "")
+    return bool(raw) and raw.lower() not in _FALSEY
+
+
+def _env_invalid(name: str, raw: str, reason: str, default, *, strict=None):
+    """One invalid environment value, handled by policy.
+
+    Default: log a warning naming the variable and return ``default``
+    (configuration mistakes must not take down a running library
+    call).  Under ``REPRO_STRICT_ENV=1`` — or when the caller forces
+    ``strict=True``, as the serve config does — raise a typed
+    :class:`~repro.errors.ConfigError` instead, once, at read time.
+    """
+    from repro.errors import ConfigError
+
+    if strict if strict is not None else strict_env():
+        raise ConfigError(name, raw, reason)
+    logger.warning("ignoring invalid %s=%r (%s); using %r",
+                   name, raw, reason, default)
+    return default
+
+
+def env_int(
+    name: str,
+    default: Optional[int],
+    *,
+    minimum: Optional[int] = None,
+    strict: Optional[bool] = None,
+) -> Optional[int]:
+    """``int(os.environ[name])`` with validation at read time.
+
+    Unset/empty returns ``default``.  A non-numeric value, or one below
+    ``minimum``, follows the invalid-value policy (warn + default, or
+    :class:`~repro.errors.ConfigError` when strict).
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return _env_invalid(name, raw, "not an integer", default,
+                            strict=strict)
+    if minimum is not None and value < minimum:
+        return _env_invalid(name, raw, f"must be >= {minimum}", default,
+                            strict=strict)
+    return value
+
+
+def env_float(
+    name: str,
+    default: Optional[float],
+    *,
+    minimum: Optional[float] = None,
+    strict: Optional[bool] = None,
+) -> Optional[float]:
+    """``float(os.environ[name])`` with validation at read time (same
+    policy as :func:`env_int`)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return _env_invalid(name, raw, "non-numeric", default,
+                            strict=strict)
+    if minimum is not None and value < minimum:
+        return _env_invalid(name, raw, f"must be >= {minimum}", default,
+                            strict=strict)
+    return value
+
+
+def env_flag(name: str, default: bool) -> bool:
+    """Boolean knob: unset/empty → ``default``; any of ``0/off/no/
+    false`` (case-insensitive) → False; anything else → True.  Never
+    invalid, so never strict."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip().lower() not in _FALSEY
 
 #: sanitizers the build layer knows how to wire up
 KNOWN_SANITIZERS = ("address", "undefined")
@@ -184,15 +277,9 @@ def parallel_backend() -> Optional[str]:
 def worker_count(default: Optional[int] = None) -> int:
     """Worker count for parallel executors (``REPRO_WORKERS`` override,
     then ``default``, then the machine's CPU count)."""
-    raw = os.environ.get(ENV_WORKERS)
-    if raw:
-        try:
-            value = int(raw)
-            if value > 0:
-                return value
-            logger.warning("ignoring non-positive %s=%r", ENV_WORKERS, raw)
-        except ValueError:
-            logger.warning("ignoring non-numeric %s=%r", ENV_WORKERS, raw)
+    value = env_int(ENV_WORKERS, None, minimum=1)
+    if value is not None:
+        return value
     if default is not None:
         return int(default)
     return max(1, os.cpu_count() or 1)
@@ -234,35 +321,16 @@ def supervise_mode() -> Optional[bool]:
 def kernel_deadline() -> float:
     """Wall-clock budget for one supervised kernel run, in seconds
     (``REPRO_KERNEL_DEADLINE``, default 60)."""
-    raw = os.environ.get(ENV_KERNEL_DEADLINE)
-    if not raw:
+    value = env_float(ENV_KERNEL_DEADLINE, None, minimum=0.0)
+    if value is None or value <= 0:
         return DEFAULT_KERNEL_DEADLINE
-    try:
-        value = float(raw)
-    except ValueError:
-        logger.warning(
-            "ignoring non-numeric %s=%r; using default %.0fs",
-            ENV_KERNEL_DEADLINE, raw, DEFAULT_KERNEL_DEADLINE,
-        )
-        return DEFAULT_KERNEL_DEADLINE
-    return value if value > 0 else DEFAULT_KERNEL_DEADLINE
+    return value
 
 
 def kernel_mem_mb() -> Optional[int]:
     """``RLIMIT_AS`` cap for a supervised kernel child, in MiB
     (``REPRO_KERNEL_MEM_MB``; default None = no address-space cap)."""
-    raw = os.environ.get(ENV_KERNEL_MEM_MB)
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        logger.warning("ignoring non-numeric %s=%r", ENV_KERNEL_MEM_MB, raw)
-        return None
-    if value <= 0:
-        logger.warning("ignoring non-positive %s=%r", ENV_KERNEL_MEM_MB, raw)
-        return None
-    return value
+    return env_int(ENV_KERNEL_MEM_MB, None, minimum=1)
 
 
 def strict_locks() -> bool:
@@ -276,34 +344,16 @@ def strict_locks() -> bool:
 def breaker_threshold() -> int:
     """Supervised crashes/timeouts before the circuit breaker opens
     (``REPRO_BREAKER_THRESHOLD``, default 3)."""
-    raw = os.environ.get(ENV_BREAKER_THRESHOLD)
-    if not raw:
-        return DEFAULT_BREAKER_THRESHOLD
-    try:
-        value = int(raw)
-        if value > 0:
-            return value
-        logger.warning("ignoring non-positive %s=%r", ENV_BREAKER_THRESHOLD, raw)
-    except ValueError:
-        logger.warning("ignoring non-numeric %s=%r", ENV_BREAKER_THRESHOLD, raw)
-    return DEFAULT_BREAKER_THRESHOLD
+    value = env_int(ENV_BREAKER_THRESHOLD, None, minimum=1)
+    return DEFAULT_BREAKER_THRESHOLD if value is None else value
 
 
 def breaker_backoff() -> float:
     """Base re-probe delay of an open circuit breaker, in seconds
     (``REPRO_BREAKER_BACKOFF``, default 30; doubles per failed probe,
     with jitter)."""
-    raw = os.environ.get(ENV_BREAKER_BACKOFF)
-    if not raw:
-        return DEFAULT_BREAKER_BACKOFF
-    try:
-        value = float(raw)
-        if value >= 0:
-            return value
-        logger.warning("ignoring negative %s=%r", ENV_BREAKER_BACKOFF, raw)
-    except ValueError:
-        logger.warning("ignoring non-numeric %s=%r", ENV_BREAKER_BACKOFF, raw)
-    return DEFAULT_BREAKER_BACKOFF
+    value = env_float(ENV_BREAKER_BACKOFF, None, minimum=0.0)
+    return DEFAULT_BREAKER_BACKOFF if value is None else value
 
 
 def pool_enabled() -> bool:
@@ -325,16 +375,8 @@ def pool_enabled() -> bool:
 def pool_workers(default: Optional[int] = None) -> int:
     """Resident worker count for the persistent pool
     (``REPRO_POOL_WORKERS`` override, else :func:`worker_count`)."""
-    raw = os.environ.get(ENV_POOL_WORKERS)
-    if raw:
-        try:
-            value = int(raw)
-            if value > 0:
-                return value
-            logger.warning("ignoring non-positive %s=%r", ENV_POOL_WORKERS, raw)
-        except ValueError:
-            logger.warning("ignoring non-numeric %s=%r", ENV_POOL_WORKERS, raw)
-    return worker_count(default)
+    value = env_int(ENV_POOL_WORKERS, None, minimum=1)
+    return worker_count(default) if value is None else value
 
 
 def pool_warm_enabled() -> bool:
@@ -354,27 +396,16 @@ def pool_idle_ttl() -> Optional[float]:
         return DEFAULT_POOL_IDLE_TTL
     if raw.strip().lower() in _FALSEY:
         return None
-    try:
-        value = float(raw)
-    except ValueError:
-        logger.warning("ignoring non-numeric %s=%r", ENV_POOL_IDLE_TTL, raw)
-        return DEFAULT_POOL_IDLE_TTL
-    return value if value > 0 else None
+    value = env_float(ENV_POOL_IDLE_TTL, DEFAULT_POOL_IDLE_TTL, minimum=0.0)
+    return value if value else None
 
 
 def shm_threshold() -> int:
     """Minimum payload size, in bytes, that travels through a
     shared-memory segment instead of the pickle pipe
     (``REPRO_SHM_THRESHOLD``; ``0`` forces shm for everything)."""
-    raw = os.environ.get(ENV_SHM_THRESHOLD)
-    if raw is None or not raw.strip():
-        return DEFAULT_SHM_THRESHOLD
-    try:
-        value = int(raw)
-    except ValueError:
-        logger.warning("ignoring non-numeric %s=%r", ENV_SHM_THRESHOLD, raw)
-        return DEFAULT_SHM_THRESHOLD
-    return max(0, value)
+    value = env_int(ENV_SHM_THRESHOLD, DEFAULT_SHM_THRESHOLD, minimum=0)
+    return DEFAULT_SHM_THRESHOLD if value is None else value
 
 
 def signal_name(signum: int) -> str:
@@ -391,30 +422,15 @@ def toolchain() -> str:
 
 def gcc_timeout() -> float:
     """Wall-clock budget for one compiler invocation, in seconds."""
-    raw = os.environ.get(ENV_GCC_TIMEOUT)
-    if not raw:
+    value = env_float(ENV_GCC_TIMEOUT, DEFAULT_GCC_TIMEOUT, minimum=0.0)
+    if value is None or value <= 0:
         return DEFAULT_GCC_TIMEOUT
-    try:
-        value = float(raw)
-    except ValueError:
-        logger.warning(
-            "ignoring non-numeric %s=%r; using default %.0fs",
-            ENV_GCC_TIMEOUT, raw, DEFAULT_GCC_TIMEOUT,
-        )
-        return DEFAULT_GCC_TIMEOUT
-    return value if value > 0 else DEFAULT_GCC_TIMEOUT
+    return value
 
 
 def max_auto_capacity() -> Optional[int]:
     """Optional global ceiling for capacity auto-growth."""
-    raw = os.environ.get(ENV_MAX_CAPACITY)
-    if not raw:
-        return None
-    try:
-        return int(raw)
-    except ValueError:
-        logger.warning("ignoring non-numeric %s=%r", ENV_MAX_CAPACITY, raw)
-        return None
+    return env_int(ENV_MAX_CAPACITY, None, minimum=1)
 
 
 _probe_lock = threading.Lock()
@@ -639,6 +655,11 @@ __all__ = [
     "ENV_POOL_WARM",
     "ENV_POOL_IDLE_TTL",
     "ENV_SHM_THRESHOLD",
+    "ENV_STRICT_ENV",
+    "env_int",
+    "env_float",
+    "env_flag",
+    "strict_env",
     "KNOWN_SANITIZERS",
     "KNOWN_EXECUTORS",
     "DEFAULT_GCC_TIMEOUT",

@@ -16,7 +16,17 @@ class and switch on the concrete type.  The taxonomy distinguishes
   :class:`KernelTimeoutError`), and
 * *coordination* failures — a cross-process build lock that could not
   be acquired in time under strict-lock mode
-  (:class:`LockTimeoutError`).
+  (:class:`LockTimeoutError`), and
+* *configuration* failures — an environment knob holding an unparsable
+  value (:class:`ConfigError`, naming the variable).
+
+Orthogonally to the failure domain, every class is either *retryable*
+(it carries the :class:`Retryable` mixin and its instance verdict is
+positive — see :func:`is_retryable`) or *permanent*.  Retry loops in
+the serving layer and the sharded runtime consult this classification
+instead of pattern-matching types, so a deterministic failure (shape
+mismatch, source-level compile error, capacity exhaustion) is never
+replayed.
 
 :class:`CapacityError` and :class:`ShapeError` predate the taxonomy and
 keep their original bases (``RuntimeError`` / ``TypeError``) so
@@ -37,7 +47,59 @@ class ReproError(Exception):
     """Base class for every typed error raised by the repro package."""
 
 
-class CompileError(ReproError):
+class Retryable:
+    """Mixin marking an error class whose failures *may* be transient.
+
+    The serving layer (:mod:`repro.serve`) and the sharded runtime's
+    failover only ever retry errors that pass :func:`is_retryable`;
+    everything else is treated as deterministic — retrying a shape
+    mismatch or an ill-typed IR reproduces the identical failure and
+    only burns the caller's deadline budget.
+
+    Inheriting the mixin makes *instances* retryable by default; a
+    subclass (or instance) can refine the verdict by overriding the
+    :attr:`retryable` property — :class:`CompileError` does this to
+    distinguish a toolchain killed by a signal or timeout (transient:
+    OOM pressure, an interrupted build host) from a genuine source
+    error (deterministic: the same diagnostics every time).
+    """
+
+    @property
+    def retryable(self) -> bool:
+        return True
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether one more attempt at the failed operation is reasonable.
+
+    True only for :class:`Retryable` errors whose instance verdict is
+    positive.  Errors outside the repro taxonomy (a raw ``OSError``
+    from an executor, a ``BrokenProcessPool``) are *not* classified
+    here — infrastructure layers make their own call for those.
+    """
+    return isinstance(exc, Retryable) and exc.retryable
+
+
+class ConfigError(ReproError, ValueError):
+    """An environment knob holds a value that cannot be parsed.
+
+    Raised at *read* time by the typed parsers of
+    :mod:`repro.compiler.resilience` (strict mode) and always by the
+    ``REPRO_SERVE_*`` configuration of :mod:`repro.serve.config`, so an
+    operator typo like ``REPRO_POOL_WORKERS=abc`` surfaces once, named,
+    at startup — never as a raw ``ValueError`` deep in the stack.
+    """
+
+    def __init__(self, variable: str, value: str, reason: str) -> None:
+        super().__init__(
+            f"invalid {variable}={value!r}: {reason}"
+        )
+        self.variable = variable
+        self.value = value
+        self.reason = reason
+
+
+class CompileError(Retryable, ReproError):
     """Invoking the C toolchain failed (nonzero exit, signal, timeout).
 
     Carries everything needed for a useful bug report: the command,
@@ -70,6 +132,14 @@ class CompileError(ReproError):
             self.signal = -returncode
             self.signal_name = _signal_name(-returncode)
 
+    @property
+    def retryable(self) -> bool:
+        """A toolchain death by timeout or signal is environmental (an
+        OOM kill, an interrupted host) and worth one more attempt; a
+        regular nonzero exit is a source error that fails identically
+        every time."""
+        return self.timeout or self.signal is not None
+
 
 class BackendUnavailableError(ReproError):
     """The requested backend cannot run in this environment (e.g. the C
@@ -81,8 +151,12 @@ class BackendUnavailableError(ReproError):
         self.reason = reason
 
 
-class CacheCorruptionError(ReproError):
-    """A cached build artifact is unreadable and could not be rebuilt."""
+class CacheCorruptionError(Retryable, ReproError):
+    """A cached build artifact is unreadable and could not be rebuilt.
+
+    Retryable: the corrupt entry is quarantined on detection, so a
+    second attempt rebuilds into a clean slot.
+    """
 
     def __init__(self, message: str, *, path: Optional[str] = None) -> None:
         super().__init__(message)
@@ -127,10 +201,16 @@ class KernelRuntimeError(ReproError):
     """
 
 
-class KernelCrashError(KernelRuntimeError):
+class KernelCrashError(Retryable, KernelRuntimeError):
     """A supervised kernel child died by signal (segfault from an
     out-of-contract write, SIGKILL from the OOM killer or a resource
     cap, SIGXCPU from ``RLIMIT_CPU``, ...).
+
+    Retryable — but *once*: a crash may be environmental (memory
+    pressure on a shared worker, a poisoned pool slot already replaced
+    by the time the error surfaces), so the serving layer grants one
+    replay on a fresh worker; a kernel that crashes twice is treated as
+    deterministic and left to the circuit breaker.
 
     ``signal`` / ``signal_name`` identify the killer; ``exitcode`` is
     the raw child exit status when the death was not signal-shaped
@@ -155,15 +235,23 @@ class KernelCrashError(KernelRuntimeError):
 
 class KernelTimeoutError(KernelRuntimeError):
     """A supervised kernel child missed its wall-clock deadline and was
-    killed by the supervising parent."""
+    killed by the supervising parent.
+
+    Deliberately *not* retryable: the deadline that was missed came out
+    of the caller's own budget — replaying a run that just burned the
+    whole budget can only miss again, later.
+    """
 
     def __init__(self, message: str, *, deadline: Optional[float] = None) -> None:
         super().__init__(message)
         self.deadline = deadline
 
 
-class LockTimeoutError(ReproError):
+class LockTimeoutError(Retryable, ReproError):
     """A cross-process build lock stayed busy past its timeout.
+
+    Retryable: lock contention is transient by nature — the holder
+    finishes (or dies) and a later attempt acquires cleanly.
 
     Raised only under ``REPRO_STRICT_LOCKS=1``; the default policy logs
     a warning and continues unlocked (artifact publication is atomic,
@@ -221,6 +309,9 @@ class IRVerifyError(ReproError):
 
 __all__ = [
     "ReproError",
+    "Retryable",
+    "is_retryable",
+    "ConfigError",
     "CompileError",
     "BackendUnavailableError",
     "CacheCorruptionError",

@@ -26,7 +26,12 @@ from typing import List, Mapping, Optional, Sequence, Union
 from repro.compiler import resilience
 from repro.compiler.resilience import logger
 from repro.data.tensor import Tensor
-from repro.errors import KernelCrashError, KernelTimeoutError
+from repro.errors import (
+    KernelCrashError,
+    KernelTimeoutError,
+    ReproError,
+    is_retryable,
+)
 from repro.runtime import worker as worker_mod
 from repro.runtime.executor import discard_shared_executor, get_shared_executor
 from repro.runtime.merge import merge_partials
@@ -59,11 +64,11 @@ def _operand_bytes(tensors: Mapping[str, Tensor]) -> int:
 
 
 def _local_task(kernel, tensors, capacity, auto_grow, max_capacity,
-                supervised=None):
+                supervised=None, deadline=None):
     start = time.perf_counter()
     result = kernel._run_guarded(
         tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity,
-        supervised=supervised,
+        supervised=supervised, deadline=deadline,
     )
     return result, time.perf_counter() - start, "local"
 
@@ -116,10 +121,15 @@ def _resolve_executor(kernel, executor: str) -> str:
     return executor
 
 
-def _pool_deadline(kernel, supervised) -> Optional[float]:
+def _pool_deadline(kernel, supervised, deadline=None) -> Optional[float]:
     """Wall deadline for pooled calls: pooled workers are always
     crash-isolated, but the deadline kill is only armed when the
-    supervision policy asks for it (matching the fork supervisor)."""
+    supervision policy asks for it (matching the fork supervisor).
+    An explicit caller ``deadline`` — a request budget handed down by
+    the serving layer — always arms the kill, supervised or not: the
+    worker is already isolated and the caller has a clock to keep."""
+    if deadline is not None:
+        return deadline
     if kernel._resolve_supervised(supervised):
         return resilience.kernel_deadline()
     return None
@@ -167,6 +177,7 @@ def run_sharded(
     split_attr: Optional[str] = None,
     supervised: Optional[bool] = None,
     stats_out: Optional[List[ShardStat]] = None,
+    deadline: Optional[float] = None,
 ):
     """Partition one kernel run into shards, execute, and ⊕-merge.
 
@@ -194,7 +205,7 @@ def run_sharded(
         )
         return kernel._run_guarded(
             tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity,
-            supervised=supervised,
+            supervised=supervised, deadline=deadline,
         )
 
     executor = _resolve_executor(kernel, executor)
@@ -221,7 +232,7 @@ def run_sharded(
         futures = _pool_dispatch(
             ex, pool_mod, shm, kernel, shard_inputs, shard_dims, tensors,
             capacity, auto_grow, max_capacity,
-            _pool_deadline(kernel, supervised),
+            _pool_deadline(kernel, supervised, deadline),
         )
     else:
         futures = []
@@ -234,7 +245,7 @@ def run_sharded(
             else:
                 futures.append(_submit(
                     ex, _local_task, sk, st, capacity, auto_grow, max_capacity,
-                    supervised,
+                    supervised, deadline,
                 ))
     for i, (fut, (lo, hi)) in enumerate(zip(futures, plan.ranges)):
         retried = False
@@ -253,6 +264,12 @@ def run_sharded(
                 capacity, auto_grow, max_capacity, exc,
             )
         except Exception as exc:
+            if isinstance(exc, ReproError) and not is_retryable(exc):
+                # deterministic kernel errors (shape mismatch, capacity
+                # exhaustion, source-level CompileError) reproduce
+                # identically on a retry — surface them as a serial run
+                # would instead of burning a second execution
+                raise
             logger.warning(
                 "shard %d/%d of kernel %r failed on the %s executor "
                 "(%s: %s); retrying in-process",
@@ -263,7 +280,7 @@ def run_sharded(
             retried = True
             result, seconds, who = _local_task(
                 shard_kernels[i], shard_inputs[i],
-                capacity, auto_grow, max_capacity, supervised,
+                capacity, auto_grow, max_capacity, supervised, deadline,
             )
         partials.append(result)
         stats.append(ShardStat(
@@ -292,11 +309,14 @@ def run_batch(
     max_capacity: Optional[int] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> List[object]:
-    """Run ``kernel`` over many input bindings, pool-parallel.
+    """Run ``kernel`` over many independent input bindings, pool-parallel.
 
     Results come back in input order.  ``executor=None`` follows
-    ``REPRO_PARALLEL`` and falls back to ``serial``.
+    ``REPRO_PARALLEL`` and falls back to ``serial``.  ``deadline``
+    bounds each *item* (not the whole batch) wherever execution is
+    crash-isolated.
     """
     if executor is None:
         executor = (
@@ -315,7 +335,7 @@ def run_batch(
         key = pool_mod.pool_key(kernel)
         pool.register_recipe(key, kernel.recipe)
         threshold = resilience.shm_threshold()
-        deadline = _pool_deadline(kernel, None)
+        deadline = _pool_deadline(kernel, None, deadline)
         for tensors in runs:
             refs = {
                 name: shm.describe_tensor(
@@ -336,13 +356,15 @@ def run_batch(
             else:
                 futures.append(_submit(
                     ex, _local_task, kernel, tensors,
-                    capacity, auto_grow, max_capacity,
+                    capacity, auto_grow, max_capacity, None, deadline,
                 ))
     for i, (fut, tensors) in enumerate(zip(futures, runs)):
         retried = False
         try:
             result, seconds, who = fut.result()
         except Exception as exc:
+            if isinstance(exc, ReproError) and not is_retryable(exc):
+                raise  # deterministic: replaying cannot change the outcome
             logger.warning(
                 "batch item %d/%d of kernel %r failed on the %s executor "
                 "(%s: %s); retrying in-process",
@@ -353,6 +375,7 @@ def run_batch(
             retried = True
             result, seconds, who = _local_task(
                 kernel, tensors, capacity, auto_grow, max_capacity,
+                None, deadline,
             )
         results.append(result)
         stats.append(ShardStat(

@@ -73,23 +73,54 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self._records: Dict[str, BreakerRecord] = {}
         self._persist = persist
+        #: keys whose half-open probe is currently in flight — exactly
+        #: one caller may hold the claim; everyone else sees ``open``
+        #: until the probe reports back (``record_success`` /
+        #: ``record_failure`` with ``probe=True`` releases it)
+        self._probing: set = set()
 
     # -- state machine -------------------------------------------------
     def decide(self, key: str) -> str:
         """``closed`` (run normally), ``open`` (serve the fallback), or
-        ``half_open`` (this call is the re-probe)."""
+        ``half_open`` (a re-probe is due).  Read-only: deciding never
+        claims the probe — callers that intend to *run* the probe go
+        through :meth:`try_probe`."""
         with self._lock:
-            rec = self._load(key)
-            if not rec.is_open:
-                return CLOSED
-            if _now() >= self._reprobe_at(key, rec):
-                return HALF_OPEN
+            return self._state_locked(key)
+
+    def _state_locked(self, key: str) -> str:
+        rec = self._load(key)
+        if not rec.is_open:
+            return CLOSED
+        if key in self._probing:
             return OPEN
+        if _now() >= self._reprobe_at(key, rec):
+            return HALF_OPEN
+        return OPEN
+
+    def try_probe(self, key: str) -> str:
+        """Like :meth:`decide`, but a ``half_open`` verdict *claims*
+        the probe: exactly one concurrent caller per key is told to
+        re-run the supervised kernel; everyone else sees ``open`` until
+        that probe reports back through ``record_success`` /
+        ``record_failure`` (``probe=True`` releases the claim).
+
+        Without the claim, N threads deciding inside the same backoff
+        window would all probe a kernel the breaker believes is
+        crashing — N crashes instead of one.
+        """
+        with self._lock:
+            state = self._state_locked(key)
+            if state == HALF_OPEN:
+                self._probing.add(key)
+            return state
 
     def record_failure(self, key: str, name: str = "?", probe: bool = False) -> bool:
         """Count one supervised crash/timeout; returns True when this
         failure opened (or re-opened) the breaker."""
         with self._lock:
+            if probe:
+                self._probing.discard(key)
             rec = self._load(key)
             rec.failures += 1
             opened = False
@@ -118,6 +149,8 @@ class CircuitBreaker:
     def record_success(self, key: str, name: str = "?", probe: bool = False) -> None:
         """A supervised run completed: close (and forget) the breaker."""
         with self._lock:
+            if probe:
+                self._probing.discard(key)
             rec = self._records.get(key)
             was_open = rec.is_open if rec is not None else False
             self._records[key] = BreakerRecord()
@@ -128,8 +161,39 @@ class CircuitBreaker:
                     "(native execution restored)", name,
                 )
 
+    def release_probe(self, key: str) -> None:
+        """Hand back an unused probe claim.
+
+        A claimed probe that neither crashed nor succeeded (the child
+        raised a typed kernel error — a :class:`CapacityError`, say —
+        which says nothing about crash-worthiness) must not leave the
+        key wedged in its in-flight state forever.
+        """
+        with self._lock:
+            self._probing.discard(key)
+
     def state(self, key: str) -> str:
         return self.decide(key)
+
+    def is_open(self, key: str) -> bool:
+        """Whether the breaker currently refuses native execution for
+        this key (open, including a claimed in-flight probe)."""
+        return self.state(key) != CLOSED
+
+    def retry_after(self, key: str) -> Optional[float]:
+        """Seconds until the next half-open probe could run — the
+        honest ``Retry-After`` for a load-shedding server rejecting an
+        open-breaker kernel at admission.
+
+        ``None`` when the breaker is closed (nothing to wait for);
+        ``0.0`` when a probe is already due (or in flight — its result
+        lands within one kernel deadline, not one backoff).
+        """
+        with self._lock:
+            rec = self._load(key)
+            if not rec.is_open:
+                return None
+            return max(0.0, self._reprobe_at(key, rec) - _now())
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Current per-key state, for observability surfaces (the
@@ -143,6 +207,7 @@ class CircuitBreaker:
                     "failures": rec.failures,
                     "probes": rec.probes,
                     "open": rec.is_open,
+                    "probing": key in self._probing,
                 }
             return out
 
@@ -152,6 +217,7 @@ class CircuitBreaker:
             for key in list(self._records):
                 self._erase(key)
             self._records.clear()
+            self._probing.clear()
 
     # -- timing --------------------------------------------------------
     def _backoff(self, rec: BreakerRecord) -> float:

@@ -1,0 +1,138 @@
+"""Server configuration: the ``REPRO_SERVE_*`` environment family.
+
+Unlike the library-level ``REPRO_*`` knobs (which warn and fall back
+to defaults — a bad value must not take down a library call), the
+serve family is **always strict**: every variable is parsed once, at
+startup, and an unparsable value raises a typed
+:class:`~repro.errors.ConfigError` naming the variable.  A server that
+boots is a server whose configuration was read the way the operator
+wrote it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.compiler.resilience import env_flag, env_float, env_int
+from repro.errors import ConfigError
+
+ENV_HOST = "REPRO_SERVE_HOST"
+ENV_PORT = "REPRO_SERVE_PORT"
+ENV_DEADLINE = "REPRO_SERVE_DEADLINE"
+ENV_MAX_INFLIGHT = "REPRO_SERVE_MAX_INFLIGHT"
+ENV_QPS = "REPRO_SERVE_QPS"
+ENV_BURST = "REPRO_SERVE_BURST"
+ENV_RETRIES = "REPRO_SERVE_RETRIES"
+ENV_RETRY_BASE = "REPRO_SERVE_RETRY_BASE"
+ENV_BATCH_WINDOW = "REPRO_SERVE_BATCH_WINDOW"
+ENV_BATCH_MAX = "REPRO_SERVE_BATCH_MAX"
+ENV_DRAIN = "REPRO_SERVE_DRAIN"
+ENV_WRITE_TIMEOUT = "REPRO_SERVE_WRITE_TIMEOUT"
+ENV_DEGRADE = "REPRO_SERVE_DEGRADE"
+ENV_WORKERS = "REPRO_SERVE_WORKERS"
+ENV_MAX_BODY = "REPRO_SERVE_MAX_BODY"
+ENV_STREAM_THRESHOLD = "REPRO_SERVE_STREAM_THRESHOLD"
+
+#: open-breaker admission policies: ``reject`` sheds the request with
+#: 503 + Retry-After (the honest answer under quarantine); ``fallback``
+#: admits it and lets ``Kernel.run`` serve the pure-Python twin
+DEGRADE_MODES = ("reject", "fallback")
+
+
+@dataclass
+class ServeConfig:
+    """Everything the server reads from the environment, parsed once.
+
+    ``fault_hook`` is programmatic-only (no environment spelling): the
+    chaos tests install a callable that sabotages freshly built
+    kernels, exercising the crash/timeout paths end to end.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8774
+    #: default per-request wall-clock budget, seconds; a request may
+    #: ask for less via ``deadline_ms`` but never for more
+    deadline: float = 30.0
+    #: concurrent admitted requests before 429
+    max_inflight: int = 32
+    #: sustained admission rate, requests/second (0 = unlimited)
+    qps: float = 0.0
+    #: token-bucket burst size (0 = derive as max(1, 2·qps))
+    burst: int = 0
+    #: extra attempts granted to *retryable* failures
+    retries: int = 2
+    #: base backoff between attempts, seconds (full jitter applied)
+    retry_base: float = 0.05
+    #: micro-batch gathering window, seconds (0 = batching off)
+    batch_window: float = 0.0
+    #: max queries folded into one ``Kernel.run_batch``
+    batch_max: int = 16
+    #: SIGTERM drain budget: finish in-flight work within this many
+    #: seconds, then cancel with partial-result markers
+    drain: float = 10.0
+    #: per-chunk client write budget; a slower client is disconnected
+    write_timeout: float = 5.0
+    #: open-breaker admission policy (see :data:`DEGRADE_MODES`)
+    degrade: str = "reject"
+    #: executor threads for blocking kernel work
+    workers: int = 8
+    #: request body cap, bytes
+    max_body: int = 8 * 1024 * 1024
+    #: results with more entries than this stream as chunked NDJSON
+    stream_threshold: int = 4096
+    #: chaos seam: called with every freshly built kernel (tests only)
+    fault_hook: Optional[Callable] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.degrade not in DEGRADE_MODES:
+            raise ConfigError(
+                ENV_DEGRADE, str(self.degrade),
+                f"expected one of {DEGRADE_MODES}",
+            )
+        if self.burst <= 0:
+            self.burst = max(1, int(2 * self.qps))
+
+    @classmethod
+    def from_env(cls) -> "ServeConfig":
+        """Read the full ``REPRO_SERVE_*`` family, strictly.
+
+        Any unparsable value raises :class:`~repro.errors.ConfigError`
+        immediately — the server refuses to boot on a typo rather than
+        running with a silently ignored knob.
+        """
+        d = cls()
+        degrade = os.environ.get(ENV_DEGRADE, d.degrade).strip().lower()
+        return cls(
+            host=os.environ.get(ENV_HOST, d.host),
+            port=env_int(ENV_PORT, d.port, minimum=0, strict=True),
+            deadline=env_float(
+                ENV_DEADLINE, d.deadline, minimum=0.001, strict=True),
+            max_inflight=env_int(
+                ENV_MAX_INFLIGHT, d.max_inflight, minimum=1, strict=True),
+            qps=env_float(ENV_QPS, d.qps, minimum=0.0, strict=True),
+            burst=env_int(ENV_BURST, d.burst, minimum=0, strict=True),
+            retries=env_int(ENV_RETRIES, d.retries, minimum=0, strict=True),
+            retry_base=env_float(
+                ENV_RETRY_BASE, d.retry_base, minimum=0.0, strict=True),
+            batch_window=env_float(
+                ENV_BATCH_WINDOW, d.batch_window, minimum=0.0, strict=True),
+            batch_max=env_int(
+                ENV_BATCH_MAX, d.batch_max, minimum=1, strict=True),
+            drain=env_float(ENV_DRAIN, d.drain, minimum=0.0, strict=True),
+            write_timeout=env_float(
+                ENV_WRITE_TIMEOUT, d.write_timeout, minimum=0.1, strict=True),
+            degrade=degrade,
+            workers=env_int(ENV_WORKERS, d.workers, minimum=1, strict=True),
+            max_body=env_int(
+                ENV_MAX_BODY, d.max_body, minimum=1024, strict=True),
+            stream_threshold=env_int(
+                ENV_STREAM_THRESHOLD, d.stream_threshold, minimum=1,
+                strict=True),
+        )
+
+
+__all__ = ["ServeConfig", "DEGRADE_MODES"] + [
+    n for n in dir() if n.startswith("ENV_")
+]

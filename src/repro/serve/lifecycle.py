@@ -1,0 +1,96 @@
+"""Server lifecycle: readiness, in-flight accounting, graceful drain.
+
+The state machine is deliberately small::
+
+    STARTING ──listening──► READY ──SIGTERM/stop()──► DRAINING ──► STOPPED
+
+``/readyz`` answers 200 only in READY; a load balancer stops routing
+the moment draining begins.  Draining admits nothing new, lets
+in-flight requests finish up to the drain deadline, then cancels the
+stragglers (their connections receive a partial-result marker, not a
+silent hangup).  Teardown then reclaims every runtime resource — the
+executor, the worker pool, and its shared-memory segments — so a
+drained server leaves no processes and no ``/dev/shm`` litter behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict
+
+from repro.compiler.resilience import logger
+
+STARTING, READY, DRAINING, STOPPED = (
+    "starting", "ready", "draining", "stopped",
+)
+
+
+class Lifecycle:
+    """Shared state between the accept loop, handlers, and signals."""
+
+    def __init__(self) -> None:
+        self.state = STARTING
+        self.started_at = time.monotonic()
+        self.inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "timed_out": 0,
+            "cancelled": 0,
+        }
+
+    # -- state ---------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        return self.state == READY
+
+    @property
+    def draining(self) -> bool:
+        return self.state in (DRAINING, STOPPED)
+
+    def mark_ready(self) -> None:
+        self.state = READY
+
+    # -- in-flight accounting -----------------------------------------
+    def request_started(self) -> None:
+        self.inflight += 1
+        self._idle.clear()
+
+    def request_finished(self) -> None:
+        self.inflight -= 1
+        if self.inflight <= 0:
+            self._idle.set()
+
+    def bump(self, counter: str) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + 1
+
+    # -- drain ---------------------------------------------------------
+    async def drain(self, deadline: float) -> bool:
+        """Stop admitting, wait for in-flight work up to ``deadline``
+        seconds.  Returns True when everything finished in time; False
+        when stragglers had to be abandoned to cancellation."""
+        self.state = DRAINING
+        logger.warning(
+            "serve: draining — %d request(s) in flight, budget %.1fs",
+            self.inflight, deadline,
+        )
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=deadline)
+            clean = True
+        except asyncio.TimeoutError:
+            clean = False
+            logger.warning(
+                "serve: drain deadline elapsed with %d request(s) still "
+                "in flight; cancelling", self.inflight,
+            )
+        self.state = STOPPED
+        return clean
+
+
+__all__ = ["Lifecycle", "STARTING", "READY", "DRAINING", "STOPPED"]

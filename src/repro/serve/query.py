@@ -1,0 +1,313 @@
+"""Query canonicalization: JSON request → prepared, keyed execution.
+
+The crucial property: a prepared einsum query knows its **kernel cache
+key before anything is compiled** (via
+:meth:`~repro.tensor.einsum.EinsumPlan.cache_key`, which runs the full
+front-end validation but stops short of lowering).  Admission control
+can therefore reject a query whose kernel the circuit breaker has
+quarantined — or coalesce it with an identical in-flight one — at the
+price of a hash, not a compile.
+
+Two query kinds:
+
+``einsum``
+    ``{"kind": "einsum", "spec": "ij,jk->ik", "operands": [TENSOR,
+    ...]}`` with optional ``semiring`` (by name), ``output_formats``,
+    ``order``, ``capacity``, and ``deadline_ms``.  A ``TENSOR`` is
+    ``{"entries": [[[i, j], v], ...]}`` with optional ``"dims"``
+    (defaults to 1 + the max coordinate per level) and ``"formats"``
+    (defaults to all-sparse).  Executed on the supervised kernel
+    runtime — deadline-killed, crash-isolated, breaker-guarded.
+
+``sql``
+    ``{"kind": "sql", "query": "SELECT ...", "tables": {name:
+    {"columns": [...], "rows": [[...], ...]}}}``.  Executed by the
+    relational reference engine in an executor thread; no kernel is
+    built, so no breaker state applies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.data.tensor import Tensor
+from repro.errors import KernelTimeoutError, ReproError
+from repro.semirings.instances import (
+    BOOL, FLOAT, INT, MAX_PLUS, MAX_TIMES, MIN_PLUS, NAT,
+)
+from repro.serve.deadline import Budget
+from repro.tensor.einsum import EinsumPlan, parse_spec, plan_einsum
+
+SEMIRINGS = {
+    s.name: s
+    for s in (BOOL, NAT, INT, FLOAT, MIN_PLUS, MAX_PLUS, MAX_TIMES)
+}
+
+
+class QueryError(ReproError, ValueError):
+    """A malformed query document — the client's fault (HTTP 400)."""
+
+
+def _require(body: Mapping[str, Any], key: str, kind: type) -> Any:
+    try:
+        value = body[key]
+    except (KeyError, TypeError):
+        raise QueryError(f"missing required field {key!r}") from None
+    if not isinstance(value, kind):
+        raise QueryError(
+            f"field {key!r} must be {kind.__name__}, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _decode_operands(
+    operands_json: List[Any], operand_letters: Tuple[Tuple[str, ...], ...]
+) -> List[Tensor]:
+    """Decode every operand; missing ``dims`` are inferred *jointly* —
+    an index letter shared across operands gets one dimension, the hull
+    of every coordinate that uses it."""
+    decoded = []
+    hull: Dict[str, int] = {}
+    for pos, (obj, letters) in enumerate(zip(operands_json, operand_letters)):
+        if not isinstance(obj, Mapping):
+            raise QueryError(f"operand {pos} must be an object")
+        raw = _require(obj, "entries", list)
+        entries: List[Tuple[Tuple[int, ...], Any]] = []
+        for e in raw:
+            try:
+                coords, value = e
+                coords = tuple(int(c) for c in coords)
+            except (TypeError, ValueError) as exc:
+                raise QueryError(
+                    f"operand {pos}: bad entry {e!r} ({exc})"
+                ) from None
+            if len(coords) != len(letters):
+                raise QueryError(
+                    f"operand {pos}: entry rank {len(coords)} != spec rank "
+                    f"{len(letters)}"
+                )
+            entries.append((coords, value))
+        dims = obj.get("dims")
+        if dims is not None and len(dims) != len(letters):
+            raise QueryError(
+                f"operand {pos}: {len(dims)} dims for rank {len(letters)}"
+            )
+        for k, a in enumerate(letters):
+            seen = 1 + max((c[k] for c, _ in entries), default=0)
+            if dims is not None:
+                seen = max(seen, int(dims[k]))
+            hull[a] = max(hull.get(a, 1), seen)
+        decoded.append((pos, obj, letters, entries, dims))
+
+    tensors = []
+    for pos, obj, letters, entries, dims in decoded:
+        if dims is None:
+            dims = [hull[a] for a in letters]
+        formats = tuple(obj.get("formats") or ("sparse",) * len(letters))
+        try:
+            tensors.append(Tensor.from_entries(letters, formats, dims, entries))
+        except ValueError as exc:
+            raise QueryError(f"operand {pos}: {exc}") from None
+    return tensors
+
+
+def _encode_result(result: Any) -> Dict[str, Any]:
+    if isinstance(result, Tensor):
+        entries = [
+            list(coords) + [_json_value(v)]
+            for coords, v in sorted(result.to_dict().items())
+        ]
+        return {
+            "kind": "tensor",
+            "attrs": list(result.attrs),
+            "dims": list(result.dims),
+            "nnz": len(entries),
+            "entries": entries,
+        }
+    return {"kind": "scalar", "value": _json_value(result)}
+
+
+def _json_value(v: Any) -> Any:
+    """numpy scalars → native JSON types."""
+    if hasattr(v, "item"):
+        return v.item()
+    return v
+
+
+@dataclass
+class PreparedQuery:
+    """One canonicalized query, ready for admission and execution."""
+
+    kind: str
+    #: the kernel build-cache key (None for kernel-less queries) — the
+    #: breaker's and the batcher's identity for this query
+    kernel_key: Optional[str]
+    #: identity for single-flight coalescing: kernel key + operand
+    #: content (two requests with this key are the *same computation*)
+    coalesce_key: str
+    #: per-request deadline override, milliseconds (client-supplied)
+    deadline_ms: Optional[float] = None
+    plan: Optional[EinsumPlan] = None
+    capacity: Optional[int] = None
+    sql_text: Optional[str] = None
+    sql_tables: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def batch_key(self) -> Optional[str]:
+        """Micro-batching identity: queries sharing it run the same
+        kernel at the same capacity and may fold into one
+        ``Kernel.run_batch`` call."""
+        if self.kernel_key is None:
+            return None
+        return f"{self.kernel_key}:cap={self.capacity}"
+
+    # -- execution (blocking; runs in the server's executor) -----------
+    def execute(self, budget: Budget, fault_hook=None) -> Dict[str, Any]:
+        """Build (or cache-hit) and run, spending ``budget``."""
+        if self.kind == "sql":
+            return self._execute_sql()
+        kernel = self.build(fault_hook)
+        remaining = budget.remaining()
+        if remaining <= 0:
+            raise KernelTimeoutError(
+                "request budget exhausted before dispatch",
+                deadline=budget.total,
+            )
+        result = kernel.run(
+            self.plan.inputs, capacity=self.capacity, auto_grow=True,
+            parallel=False, supervised=True, deadline=remaining,
+        )
+        return _encode_result(result)
+
+    def build(self, fault_hook=None):
+        """Compile (or restore) the kernel; the chaos hook sees every
+        instance the build cache hands back."""
+        kernel = self.plan.build()
+        if fault_hook is not None:
+            fault_hook(kernel)
+        return kernel
+
+    def _execute_sql(self) -> Dict[str, Any]:
+        from repro.relational.sql import run
+
+        rows = run(self.sql_text, self.sql_tables)
+        return {
+            "kind": "rows",
+            "rows": [[_json_value(v) for v in r] for r in rows],
+            "count": len(rows),
+        }
+
+
+def prepare_request(body: Any) -> PreparedQuery:
+    """Parse and canonicalize one ``POST /query`` document.
+
+    Raises :class:`QueryError` (→ 400) for anything malformed; shape
+    and dimension mismatches surface as the front-end's own
+    :class:`~repro.krelation.schema.ShapeError` (also → 400).
+    """
+    if not isinstance(body, Mapping):
+        raise QueryError("request body must be a JSON object")
+    kind = _require(body, "kind", str)
+    deadline_ms = body.get("deadline_ms")
+    if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
+        raise QueryError("deadline_ms must be a number")
+
+    if kind == "sql":
+        return _prepare_sql(body, deadline_ms)
+    if kind != "einsum":
+        raise QueryError(f"unknown query kind {kind!r}")
+
+    spec = _require(body, "spec", str)
+    operands_json = _require(body, "operands", list)
+    try:
+        operand_letters, _ = parse_spec(spec)
+    except ValueError as exc:
+        raise QueryError(str(exc)) from None
+    if len(operands_json) != len(operand_letters):
+        raise QueryError(
+            f"spec has {len(operand_letters)} operands, got "
+            f"{len(operands_json)}"
+        )
+    tensors = _decode_operands(operands_json, operand_letters)
+
+    semiring_name = body.get("semiring", "float")
+    semiring = SEMIRINGS.get(semiring_name)
+    if semiring is None:
+        raise QueryError(
+            f"unknown semiring {semiring_name!r}; expected one of "
+            f"{sorted(SEMIRINGS)}"
+        )
+    capacity = body.get("capacity")
+    if capacity is not None and not isinstance(capacity, int):
+        raise QueryError("capacity must be an integer")
+
+    try:
+        plan = plan_einsum(
+            spec, *tensors,
+            output_formats=body.get("output_formats"),
+            order=body.get("order"),
+            semiring=semiring,
+        )
+    except ValueError as exc:
+        raise QueryError(str(exc)) from None
+    kernel_key = plan.cache_key()
+    return PreparedQuery(
+        kind="einsum",
+        kernel_key=kernel_key,
+        coalesce_key=f"{kernel_key}:{_body_digest(body)}",
+        deadline_ms=deadline_ms,
+        plan=plan,
+        capacity=capacity,
+    )
+
+
+def _prepare_sql(body: Mapping[str, Any], deadline_ms) -> PreparedQuery:
+    from repro.relational.relation import Relation
+    from repro.relational.sql import SqlError, parse
+
+    text = _require(body, "query", str)
+    tables_json = _require(body, "tables", Mapping)
+    try:
+        parse(text)  # syntax errors surface at admission, not dispatch
+    except SqlError as exc:
+        raise QueryError(str(exc)) from None
+    tables: Dict[str, Relation] = {}
+    for name, t in tables_json.items():
+        if not isinstance(t, Mapping):
+            raise QueryError(f"table {name!r} must be an object")
+        try:
+            tables[name] = Relation(
+                _require(t, "columns", list),
+                [tuple(r) for r in _require(t, "rows", list)],
+            )
+        except ValueError as exc:
+            raise QueryError(f"table {name!r}: {exc}") from None
+    return PreparedQuery(
+        kind="sql",
+        kernel_key=None,
+        coalesce_key=f"sql:{_body_digest(body)}",
+        deadline_ms=deadline_ms,
+        sql_text=text,
+        sql_tables=tables,
+    )
+
+
+def _body_digest(body: Mapping[str, Any]) -> str:
+    """Content identity of a request: the canonical JSON of everything
+    except the deadline (two clients asking the same question with
+    different patience are still asking the same question)."""
+    stripped = {k: v for k, v in body.items() if k != "deadline_ms"}
+    blob = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+__all__ = [
+    "PreparedQuery",
+    "QueryError",
+    "prepare_request",
+    "SEMIRINGS",
+]

@@ -12,6 +12,7 @@ choice changes asymptotics).
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.compiler.kernel import KernelBuilder, OutputSpec
@@ -65,7 +66,53 @@ def _appearance_order(operands: Sequence[Sequence[str]]) -> Tuple[str, ...]:
     return tuple(order)
 
 
-def einsum(
+@dataclass(frozen=True)
+class EinsumPlan:
+    """Everything :func:`einsum` decides *before* compiling.
+
+    Splitting planning from building lets a caller — the serving layer
+    above all — canonicalize a query, compute the kernel cache key via
+    :meth:`~repro.compiler.kernel.KernelBuilder.cache_key`, and make
+    admission decisions (coalescing, circuit-breaker rejection) without
+    paying for a compile.  ``inputs`` carries the operand tensors
+    relabeled to the canonical ``t0, t1, …`` names.
+    """
+
+    expr: Expr
+    inputs: Dict[str, Tensor]
+    output: Optional[OutputSpec]
+    attr_order: Tuple[str, ...]
+    attr_dims: Dict[str, int]
+    name: str
+    semiring: Semiring
+    backend: str
+    search: str
+
+    def builder(self) -> KernelBuilder:
+        ctx = TypeContext(
+            Schema(Attribute(a, None) for a in self.attr_order),
+            {v: frozenset(t.attrs) for v, t in self.inputs.items()},
+        )
+        return KernelBuilder(
+            ctx, self.semiring, backend=self.backend, search=self.search
+        )
+
+    def cache_key(self) -> Optional[str]:
+        """The canonical kernel cache key, computed without compiling."""
+        return self.builder().cache_key(
+            self.expr, self.inputs, self.output,
+            name=self.name, attr_dims=self.attr_dims,
+        )
+
+    def build(self):
+        """Compile (or cache-restore) the kernel for this plan."""
+        return self.builder().build(
+            self.expr, self.inputs, self.output,
+            name=self.name, attr_dims=self.attr_dims,
+        )
+
+
+def plan_einsum(
     spec: str,
     *tensors: Tensor,
     output_formats: Optional[Sequence[str]] = None,
@@ -73,14 +120,14 @@ def einsum(
     semiring: Optional[Semiring] = None,
     backend: str = "c",
     search: str = "linear",
-    capacity: Optional[int] = None,
     kernel_name: Optional[str] = None,
-) -> Union[Tensor, float, int, bool]:
-    """Evaluate an einsum over level-format tensors with a fused kernel.
+) -> EinsumPlan:
+    """Canonicalize an einsum request into an :class:`EinsumPlan`.
 
-    Tensors must present their levels in an order consistent with the
-    global attribute ordering (``order`` or first-appearance order);
-    use :func:`repack` to transpose beforehand if needed.
+    Performs all of :func:`einsum`'s validation (spec syntax, rank and
+    dimension agreement, level-order conformance) but stops short of
+    compiling, so errors surface cheaply and the cache key is available
+    up front.
     """
     operands, output = parse_spec(spec)
     if len(operands) != len(tensors):
@@ -99,9 +146,6 @@ def einsum(
 
     schema = Schema(Attribute(a, None) for a in attr_order)
     expr, _, _ = einsum_expr(spec)
-    ctx = TypeContext(
-        schema, {f"t{k}": frozenset(letters) for k, letters in enumerate(operands)}
-    )
 
     inputs = {}
     for k, (letters, tensor) in enumerate(zip(operands, tensors)):
@@ -131,10 +175,39 @@ def einsum(
         formats = tuple(output_formats) if output_formats else ("dense",) * len(out_attrs)
         out_spec = OutputSpec(out_attrs, formats, tuple(dims[a] for a in out_attrs))
 
-    builder = KernelBuilder(ctx, semiring, backend=backend, search=search)
     name = kernel_name or ("einsum_" + re.sub(r"[^a-zA-Z0-9]", "_", spec))
-    kernel = builder.build(expr, inputs, out_spec, name=name, attr_dims=dims)
-    return kernel.run(inputs, capacity=capacity)
+    ordered_dims = {a: dims[a] for a in attr_order if a in dims}
+    return EinsumPlan(
+        expr=expr, inputs=inputs, output=out_spec, attr_order=attr_order,
+        attr_dims=ordered_dims, name=name, semiring=semiring,
+        backend=backend, search=search,
+    )
+
+
+def einsum(
+    spec: str,
+    *tensors: Tensor,
+    output_formats: Optional[Sequence[str]] = None,
+    order: Optional[Sequence[str]] = None,
+    semiring: Optional[Semiring] = None,
+    backend: str = "c",
+    search: str = "linear",
+    capacity: Optional[int] = None,
+    kernel_name: Optional[str] = None,
+) -> Union[Tensor, float, int, bool]:
+    """Evaluate an einsum over level-format tensors with a fused kernel.
+
+    Tensors must present their levels in an order consistent with the
+    global attribute ordering (``order`` or first-appearance order);
+    use :func:`repack` to transpose beforehand if needed.
+    """
+    plan = plan_einsum(
+        spec, *tensors, output_formats=output_formats, order=order,
+        semiring=semiring, backend=backend, search=search,
+        kernel_name=kernel_name,
+    )
+    kernel = plan.build()
+    return kernel.run(plan.inputs, capacity=capacity)
 
 
 def tensor_add(

@@ -1,0 +1,170 @@
+"""Test harness: run the server on a background event loop, speak
+plain-socket HTTP/1.1 at it from the test thread.
+
+No external HTTP client library exists in this environment, so the
+client half is a deliberately small hand parser — Content-Length and
+chunked framing only, which is exactly what the server emits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.serve.app import ContractionServer
+from repro.serve.config import ServeConfig
+
+
+@dataclass
+class Response:
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+    #: NDJSON frames when the response streamed (chunked), else []
+    frames: List[Any] = field(default_factory=list)
+
+    @property
+    def json(self) -> Any:
+        return json.loads(self.body.decode())
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.headers.get("retry-after")
+        return None if value is None else float(value)
+
+
+def _read_response(f) -> Response:
+    status_line = f.readline()
+    if not status_line:
+        raise ConnectionError("server closed before responding")
+    status = int(status_line.split()[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = f.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding") == "chunked":
+        body = b""
+        while True:
+            size_line = f.readline().strip()
+            size = int(size_line, 16)
+            if size == 0:
+                f.readline()
+                break
+            body += f.read(size)
+            f.readline()
+        frames = [json.loads(ln) for ln in body.splitlines() if ln.strip()]
+        return Response(status, headers, body, frames)
+    length = int(headers.get("content-length", "0") or 0)
+    body = f.read(length) if length else b""
+    return Response(status, headers, body)
+
+
+def http_request(
+    port: int,
+    method: str,
+    target: str,
+    body: Any = None,
+    timeout: float = 30.0,
+) -> Response:
+    payload = b"" if body is None else json.dumps(body).encode()
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        head = (
+            f"{method} {target} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+        )
+        s.sendall(head.encode() + payload)
+        with s.makefile("rb") as f:
+            return _read_response(f)
+
+
+class ServerHarness:
+    """A live server on its own thread + loop; stop() drains it."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.server: Optional[ContractionServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    def start(self) -> "ServerHarness":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=20):
+            raise RuntimeError(f"server failed to start: {self._failure}")
+        if self._failure is not None:
+            raise RuntimeError(str(self._failure))
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.server = ContractionServer(self.config)
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surfaced to start()
+            self._failure = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        self._loop.run_forever()
+        # drain any cleanup scheduled by stop() before closing
+        pending = asyncio.all_tasks(self._loop)
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True))
+        self._loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 60.0) -> bool:
+        """Graceful drain from the test thread; True on a clean drain."""
+        fut = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        clean = fut.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=20)
+        return clean
+
+    def request(self, method: str, target: str, body: Any = None,
+                timeout: float = 30.0) -> Response:
+        return http_request(self.port, method, target, body, timeout)
+
+    def query(self, body: Any, timeout: float = 30.0) -> Response:
+        return self.request("POST", "/query", body, timeout)
+
+
+def einsum_query(
+    spec: str = "ij,jk->ik",
+    *,
+    n: int = 4,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """A small deterministic einsum request document."""
+    import random
+
+    rng = random.Random(seed)
+    operands = []
+    for letters in spec.split("->")[0].split(","):
+        entries = [
+            [[rng.randrange(n) for _ in letters], round(rng.uniform(1, 9), 3)]
+            for _ in range(n)
+        ]
+        operands.append({"entries": entries, "dims": [n] * len(letters)})
+    doc: Dict[str, Any] = {"kind": "einsum", "spec": spec,
+                           "operands": operands}
+    if deadline_ms is not None:
+        doc["deadline_ms"] = deadline_ms
+    doc.update(extra)
+    return doc

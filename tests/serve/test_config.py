@@ -1,0 +1,90 @@
+"""REPRO_SERVE_* strict parsing + the library env helpers (S2)."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.compiler import resilience
+from repro.errors import ConfigError
+from repro.serve import config as config_mod
+from repro.serve.config import ServeConfig
+
+
+def test_defaults_without_env(monkeypatch):
+    for name in dir(config_mod):
+        if name.startswith("ENV_"):
+            monkeypatch.delenv(getattr(config_mod, name), raising=False)
+    cfg = ServeConfig.from_env()
+    assert cfg.port == 8774
+    assert cfg.deadline == 30.0
+    assert cfg.degrade == "reject"
+    assert cfg.burst >= 1
+
+
+@pytest.mark.parametrize("var, value", [
+    (config_mod.ENV_PORT, "not-a-port"),
+    (config_mod.ENV_DEADLINE, "soon"),
+    (config_mod.ENV_DEADLINE, "-3"),
+    (config_mod.ENV_MAX_INFLIGHT, "0"),
+    (config_mod.ENV_QPS, "fast"),
+    (config_mod.ENV_RETRIES, "-1"),
+    (config_mod.ENV_WORKERS, "many"),
+])
+def test_bad_serve_env_refuses_boot(monkeypatch, var, value):
+    """The serve family is always strict: a typo names itself and
+    raises before any socket is opened."""
+    monkeypatch.setenv(var, value)
+    with pytest.raises(ConfigError) as info:
+        ServeConfig.from_env()
+    assert info.value.variable == var
+    assert value in str(info.value)
+
+
+def test_bad_degrade_mode(monkeypatch):
+    monkeypatch.setenv(config_mod.ENV_DEGRADE, "explode")
+    with pytest.raises(ConfigError) as info:
+        ServeConfig.from_env()
+    assert "explode" in str(info.value)
+
+
+def test_library_env_warns_by_default(monkeypatch, caplog):
+    """Library-level knobs keep the warn-and-default policy."""
+    monkeypatch.delenv(resilience.ENV_STRICT_ENV, raising=False)
+    monkeypatch.setenv(resilience.ENV_BREAKER_THRESHOLD, "lots")
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        assert (resilience.breaker_threshold()
+                == resilience.DEFAULT_BREAKER_THRESHOLD)
+    assert any(resilience.ENV_BREAKER_THRESHOLD in r.message
+               for r in caplog.records)
+
+
+def test_library_env_strict_mode_raises(monkeypatch):
+    """REPRO_STRICT_ENV=1 upgrades the same typo to a ConfigError."""
+    monkeypatch.setenv(resilience.ENV_STRICT_ENV, "1")
+    monkeypatch.setenv(resilience.ENV_BREAKER_THRESHOLD, "lots")
+    with pytest.raises(ConfigError) as info:
+        resilience.breaker_threshold()
+    assert info.value.variable == resilience.ENV_BREAKER_THRESHOLD
+
+
+def test_env_helpers_minimum(monkeypatch):
+    monkeypatch.setenv("X_TEST_KNOB", "3")
+    assert resilience.env_int("X_TEST_KNOB", 9, minimum=1) == 3
+    monkeypatch.setenv("X_TEST_KNOB", "0")
+    assert resilience.env_int("X_TEST_KNOB", 9, minimum=1) == 9  # warned
+    with pytest.raises(ConfigError):
+        resilience.env_int("X_TEST_KNOB", 9, minimum=1, strict=True)
+    monkeypatch.setenv("X_TEST_KNOB", "")
+    assert resilience.env_int("X_TEST_KNOB", 7, minimum=1) == 7
+
+
+def test_env_flag(monkeypatch):
+    monkeypatch.delenv("X_TEST_FLAG", raising=False)
+    assert resilience.env_flag("X_TEST_FLAG", True) is True
+    for falsey in ("0", "off", "NO", "False"):
+        monkeypatch.setenv("X_TEST_FLAG", falsey)
+        assert resilience.env_flag("X_TEST_FLAG", True) is False
+    monkeypatch.setenv("X_TEST_FLAG", "1")
+    assert resilience.env_flag("X_TEST_FLAG", False) is True

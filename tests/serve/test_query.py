@@ -1,0 +1,87 @@
+"""Query canonicalization: keys before compiles, typed client errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.query import QueryError, prepare_request
+from tests.serve.harness import einsum_query
+
+
+def test_einsum_kernel_key_matches_build():
+    """The admission-time key equals the key of the kernel actually
+    built — the property the breaker gate stands on."""
+    prepared = prepare_request(einsum_query())
+    assert prepared.kernel_key is not None
+    kernel = prepared.build()
+    assert kernel.cache_key == prepared.kernel_key
+
+
+def test_identical_bodies_coalesce_different_operands_do_not():
+    a = prepare_request(einsum_query(seed=1))
+    b = prepare_request(einsum_query(seed=1))
+    c = prepare_request(einsum_query(seed=2))
+    assert a.coalesce_key == b.coalesce_key
+    assert a.coalesce_key != c.coalesce_key
+    # same kernel, different operands: batch-compatible, not identical
+    assert a.batch_key == c.batch_key
+
+
+def test_deadline_does_not_change_identity():
+    a = prepare_request(einsum_query(seed=3))
+    b = prepare_request(einsum_query(seed=3, deadline_ms=250))
+    assert a.coalesce_key == b.coalesce_key
+    assert b.deadline_ms == 250
+
+
+def test_dims_default_to_coordinate_hull():
+    doc = einsum_query()
+    for operand in doc["operands"]:
+        del operand["dims"]
+    prepared = prepare_request(doc)
+    assert prepared.kernel_key is not None
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda d: d.pop("spec"), "spec"),
+    (lambda d: d.update(spec="ij,,->i"), "malformed"),
+    (lambda d: d.update(kind="prolog"), "unknown query kind"),
+    (lambda d: d.update(semiring="imaginary"), "unknown semiring"),
+    (lambda d: d.update(operands=[]), "operands"),
+    (lambda d: d.update(capacity="lots"), "capacity"),
+    (lambda d: d.update(deadline_ms="soon"), "deadline_ms"),
+    (lambda d: d["operands"][0]["entries"].append([[1], 2.0]), "rank"),
+])
+def test_malformed_einsum_raises_query_error(mutate, fragment):
+    doc = einsum_query()
+    mutate(doc)
+    with pytest.raises((QueryError, ValueError)) as info:
+        prepare_request(doc)
+    assert fragment.lower() in str(info.value).lower()
+
+
+def test_sql_prepare_and_execute():
+    from repro.serve.deadline import Budget
+
+    doc = {
+        "kind": "sql",
+        "query": "SELECT a FROM t WHERE b > 1",
+        "tables": {"t": {"columns": ["a", "b"], "rows": [[1, 2], [3, 0]]}},
+    }
+    prepared = prepare_request(doc)
+    assert prepared.kernel_key is None       # no kernel → no breaker gate
+    assert prepared.batch_key is None
+    out = prepared.execute(Budget(5.0))
+    assert out == {"kind": "rows", "rows": [[1]], "count": 1}
+
+
+def test_sql_syntax_error_at_admission():
+    doc = {"kind": "sql", "query": "SELEC nope", "tables": {}}
+    with pytest.raises(QueryError):
+        prepare_request(doc)
+
+
+def test_semiring_changes_kernel_key():
+    a = prepare_request(einsum_query())
+    b = prepare_request(einsum_query(semiring="min-plus"))
+    assert a.kernel_key != b.kernel_key
