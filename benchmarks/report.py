@@ -413,7 +413,7 @@ def deltas(quick: bool = False) -> None:
 
     root = Path(__file__).resolve().parents[1]
     reports = {}
-    for tag in ("PR4", "PR5", "PR6", "serve"):
+    for tag in ("PR4", "PR5", "PR6", "serve", "PR8"):
         path = root / f"BENCH_{tag}.json"
         if not path.exists():
             continue
@@ -431,8 +431,8 @@ def deltas(quick: bool = False) -> None:
               "first")
         return
     for tag, rep in reports.items():
-        if tag == "serve":
-            continue      # rendered by its own section below
+        if tag in ("serve", "PR8"):
+            continue      # rendered by their own sections below
         cpus = rep.get("cpus", "?")
         flag = ("" if isinstance(cpus, int) and cpus >= 2 else
                 "  [NON-REPRESENTATIVE: single CPU — speedups are "
@@ -480,6 +480,36 @@ def deltas(quick: bool = False) -> None:
               "operands.)")
 
     _serve_section(reports.get("serve"))
+    _pr8_section(reports.get("PR8"))
+
+
+def _pr8_section(rep) -> None:
+    """Render BENCH_PR8.json (benchmarks/test_verify_overhead.py): the
+    static stream-property verifier's cost on cold compiles, warm
+    (memoized) prepares, and in isolation.  The acceptance bar is ≤5%
+    cold-compile overhead."""
+    if not rep:
+        return
+    results = rep.get("results")
+    if not isinstance(results, dict) or not results:
+        return
+    header("Stream-property verifier overhead (BENCH_PR8.json)")
+    print(f"backend={rep.get('backend', '?')}, "
+          f"cpus={rep.get('cpus', '?')}, "
+          f"generated={rep.get('generated', '?')}")
+    cold = results.get("cold_build")
+    if isinstance(cold, dict):
+        print(f"cold compile:  off {cold.get('off_s', float('nan')):.6f}s"
+              f" -> on {cold.get('on_s', float('nan')):.6f}s  "
+              f"({cold.get('overhead_pct', '?')}% overhead; bar is 5%)")
+    warm = results.get("warm_prepare")
+    if isinstance(warm, dict):
+        print(f"warm prepare:  {warm.get('ratio', '?')}x with the pass on "
+              "(memoized by cache key)")
+    ve = results.get("verify_expr")
+    if isinstance(ve, dict) and "best_s" in ve:
+        print(f"analysis alone: {ve['best_s'] * 1e6:.1f} µs per "
+              "3-node expression")
 
 
 def _serve_section(rep) -> None:

@@ -23,6 +23,15 @@ adds the static half of that story:
   against the destination capacity contracts declared in
   :mod:`repro.compiler.dest`, feeding ``Kernel.run(auto_grow=True)``
   a static "overflow-safe / needs guard" signal.
+* :mod:`~repro.compiler.analysis.streamprops` — the *stream*-level
+  analysis, one abstraction level above the IR: the paper's §6
+  preservation lemmas as transfer rules assigning every ℒ node and
+  stream combinator a property signature {lawful, monotone,
+  strictly-monotone, bounded, ⊕-law obligations}, with blame naming
+  the node that breaks a property.  Consumed by
+  :meth:`KernelBuilder.prepare` (``REPRO_STREAM_VERIFY``, default on),
+  the shard planner's split certificates, and the serving layer's
+  admission lint (``python -m repro.lint``).
 
 ``python -m repro.compiler.analysis <kernel>`` prints the full
 verification + lint report for a named example kernel.
@@ -55,6 +64,20 @@ from repro.compiler.analysis.intervals import (
     eval_interval,
     lint_bounds,
 )
+from repro.compiler.analysis.streamprops import (
+    Blame,
+    Obligation,
+    PropertySignature,
+    SplitCertificate,
+    analyze_expr,
+    analyze_stream,
+    certify_split,
+    infer_expr,
+    infer_stream,
+    refusal_reason,
+    verify_expr,
+    verify_stream,
+)
 from repro.compiler.analysis.verifier import (
     Issue,
     VerifyContext,
@@ -62,7 +85,7 @@ from repro.compiler.analysis.verifier import (
     verify_kernel,
     verify_program,
 )
-from repro.errors import IRVerifyError
+from repro.errors import IRVerifyError, StreamPropertyError
 
 __all__ = [
     "ForwardAnalysis",
@@ -94,4 +117,17 @@ __all__ = [
     "verify_kernel",
     "check_program",
     "IRVerifyError",
+    "Blame",
+    "Obligation",
+    "PropertySignature",
+    "SplitCertificate",
+    "StreamPropertyError",
+    "analyze_expr",
+    "analyze_stream",
+    "certify_split",
+    "infer_expr",
+    "infer_stream",
+    "refusal_reason",
+    "verify_expr",
+    "verify_stream",
 ]

@@ -7,8 +7,12 @@ Usage::
 
 Each named kernel (``spmv``, ``matmul``, ``dot``, ``vadd``, ``sddmm``)
 is compiled with the interpreter backend (no toolchain needed), then
-the report prints the typed-IR verification issues and the capacity
-lint's verdict on every store into a capacity-managed output array.
+the report prints the typed-IR verification issues, the capacity
+lint's verdict on every store into a capacity-managed output array,
+and the stream-level property signature (lawfulness, monotonicity,
+boundedness, ⊕-law obligations) inferred by
+:mod:`repro.compiler.analysis.streamprops` — the IR-level and
+stream-level verdicts in one report.
 """
 
 from __future__ import annotations
@@ -17,7 +21,9 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro.compiler.analysis.streamprops import analyze_expr
 from repro.compiler.analysis.verifier import verify_kernel
+from repro.compiler.formats import TensorInput
 from repro.compiler.kernel import Kernel, OutputSpec, compile_kernel
 from repro.data.tensor import Tensor
 from repro.krelation.schema import Schema
@@ -134,13 +140,33 @@ def report(name: str, kernel: Kernel) -> int:
     for f in findings:
         print(f"   bounds lint: {f}")
     unproven = [f for f in findings if not f.proven]
+
+    stream_errors = 0
+    recipe = kernel.recipe
+    if recipe is None:
+        print("   stream properties: (no recipe; not analyzable post-hoc)")
+    else:
+        specs = {
+            var: TensorInput(var, attrs, formats, kernel.ops)
+            for var, attrs, formats in recipe.input_structure
+        }
+        sig, stream_findings = analyze_expr(
+            recipe.expr, recipe.ctx, specs, recipe.semiring,
+            dims=dict(recipe.attr_dims),
+        )
+        print(f"   stream properties: {sig.describe()}")
+        for b in stream_findings:
+            print(f"   stream properties: FINDING {b}")
+        stream_errors = len(stream_findings)
+
     verdict = "NEEDS GUARD" if unproven else "ok"
     print(
         f"   summary: {len(errors)} error(s), {len(warnings)} warning(s), "
+        f"{stream_errors} stream finding(s), "
         f"{len(findings) - len(unproven)}/{len(findings)} store(s) proven "
         f"in-bounds -> {verdict}"
     )
-    return len(errors)
+    return len(errors) + stream_errors
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

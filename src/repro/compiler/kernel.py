@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.compiler import codegen_c, codegen_py, resilience
 from repro.compiler.analysis.intervals import lint_bounds
+from repro.compiler.analysis.streamprops import verify_expr
 from repro.compiler.cache import kernel_cache, kernel_cache_key
 from repro.compiler.resilience import logger
 from repro.compiler.compile_fn import compile_stream
@@ -54,6 +55,12 @@ from repro.lang.typing import TypeContext, shape_of
 from repro.semirings.base import Semiring
 
 _IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: cache keys whose expressions already passed stream-property
+#: verification in this process — the static pass is pure over the key's
+#: inputs, so a warm build skips straight past it (one set lookup),
+#: which is what amortizes the verifier behind the build cache
+_VERIFIED_KEYS: set = set()
 
 # CapacityError historically lived here; it now sits in the shared
 # taxonomy (repro.errors) and is re-exported for existing importers.
@@ -867,6 +874,7 @@ class KernelBuilder:
         verify: Optional[bool] = None,
         parallel: Optional[str] = None,
         workers: Optional[int] = None,
+        stream_verify: Optional[bool] = None,
     ) -> None:
         if backend not in ("c", "python", "interp"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -895,6 +903,11 @@ class KernelBuilder:
             )
         self.parallel = parallel
         self.workers = workers
+        #: statically verify stream properties (monotonicity, lawfulness,
+        #: termination, semiring-law obligations) in :meth:`prepare`
+        #: before anything lowers (None = the ``REPRO_STREAM_VERIFY``
+        #: environment toggle, default on)
+        self.stream_verify = stream_verify
 
     def prepare(
         self,
@@ -957,6 +970,23 @@ class KernelBuilder:
                 opt_level=self.opt_level, vectorize=self.vectorize,
                 name=name, attr_dims=dims, sanitize=self.sanitize,
             )
+
+        active = (
+            self.stream_verify
+            if self.stream_verify is not None
+            else resilience.stream_verify_enabled()
+        )
+        if active and (key is None or key not in _VERIFIED_KEYS):
+            verify_expr(
+                expr,
+                self.ctx,
+                specs=specs,
+                semiring=self.ops.semiring,
+                dims=dims,
+                kernel=name,
+            )
+            if key is not None:
+                _VERIFIED_KEYS.add(key)
         return specs, dims, key
 
     def cache_key(
@@ -1341,6 +1371,7 @@ def compile_kernel(
     verify: Optional[bool] = None,
     parallel: Optional[str] = None,
     workers: Optional[int] = None,
+    stream_verify: Optional[bool] = None,
 ) -> Kernel:
     """One-call convenience wrapper around :class:`KernelBuilder`."""
     if semiring is None:
@@ -1353,5 +1384,6 @@ def compile_kernel(
     builder = KernelBuilder(ctx, semiring, backend=backend, search=search,
                             locate=locate, opt_level=opt_level,
                             vectorize=vectorize, cache=cache, verify=verify,
-                            parallel=parallel, workers=workers)
+                            parallel=parallel, workers=workers,
+                            stream_verify=stream_verify)
     return builder.build(expr, inputs, output, name=name, attr_dims=attr_dims)

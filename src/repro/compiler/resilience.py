@@ -85,6 +85,7 @@ ENV_GCC = "REPRO_GCC"
 ENV_GCC_TIMEOUT = "REPRO_GCC_TIMEOUT"
 ENV_MAX_CAPACITY = "REPRO_MAX_CAPACITY"
 ENV_IR_VERIFY = "REPRO_IR_VERIFY"
+ENV_STREAM_VERIFY = "REPRO_STREAM_VERIFY"
 ENV_SANITIZE = "REPRO_SANITIZE"
 ENV_PARALLEL = "REPRO_PARALLEL"
 ENV_WORKERS = "REPRO_WORKERS"
@@ -222,6 +223,15 @@ def ir_verify_enabled() -> bool:
     (``REPRO_IR_VERIFY``, default off; any truthy value enables)."""
     raw = os.environ.get(ENV_IR_VERIFY, "")
     return bool(raw) and raw.lower() not in _FALSEY
+
+
+def stream_verify_enabled() -> bool:
+    """Whether :meth:`KernelBuilder.prepare` statically verifies stream
+    properties (monotonicity, lawfulness, termination, semiring-law
+    obligations) before lowering (``REPRO_STREAM_VERIFY``, default
+    **on** — unlike the IR verifier, the stream pass is a few dict
+    lookups per AST node, cheap enough to always run)."""
+    return env_flag(ENV_STREAM_VERIFY, True)
 
 
 def sanitize_modes() -> tuple:
@@ -640,6 +650,7 @@ __all__ = [
     "ENV_GCC_TIMEOUT",
     "ENV_MAX_CAPACITY",
     "ENV_IR_VERIFY",
+    "ENV_STREAM_VERIFY",
     "ENV_SANITIZE",
     "ENV_PARALLEL",
     "ENV_WORKERS",
@@ -685,6 +696,7 @@ __all__ = [
     "signal_name",
     "fallback_enabled",
     "ir_verify_enabled",
+    "stream_verify_enabled",
     "sanitize_modes",
     "toolchain",
     "toolchain_available",

@@ -274,6 +274,51 @@ class ShapeError(ReproError, TypeError):
     """Raised when an expression or operation is used at the wrong shape."""
 
 
+class StreamPropertyError(ReproError):
+    """A stream pipeline failed static property verification.
+
+    Raised by :mod:`repro.compiler.analysis.streamprops` when the
+    per-combinator transfer rules (the paper's §6 preservation lemmas)
+    cannot certify a pipeline: a non-monotone source, a multiplication
+    over a non-strict operand, a contraction over an unbounded level,
+    or a semiring-law obligation (idempotent ⊕ for duplicate-folding
+    contraction, commutative ⊕ for a sharded contracted merge) the
+    kernel's semiring does not discharge.
+
+    ``findings`` is the list of
+    :class:`~repro.compiler.analysis.streamprops.Blame` records naming
+    the exact AST node / combinator that broke each property;
+    :meth:`diagnostic` renders them as a machine-readable body for the
+    serving layer's 400 responses.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: Optional[str] = None,
+        findings: Sequence[object] = (),
+    ) -> None:
+        if kernel:
+            message = f"[kernel {kernel!r}] {message}"
+        super().__init__(message)
+        self.kernel = kernel
+        self.findings = list(findings)
+
+    def diagnostic(self) -> dict:
+        """Machine-readable body: error text plus one record per blame."""
+        rendered = []
+        for f in self.findings:
+            as_dict = getattr(f, "as_dict", None)
+            rendered.append(as_dict() if callable(as_dict) else {"detail": str(f)})
+        return {
+            "error": str(self),
+            "type": type(self).__name__,
+            "kernel": self.kernel,
+            "findings": rendered,
+        }
+
+
 class IRVerifyError(ReproError):
     """The IR verifier found an invariant violation in a P/E program.
 
@@ -317,6 +362,7 @@ __all__ = [
     "CacheCorruptionError",
     "CapacityError",
     "ShapeError",
+    "StreamPropertyError",
     "IRVerifyError",
     "KernelRuntimeError",
     "KernelCrashError",

@@ -26,12 +26,29 @@ from typing import Any, Dict, Sequence, Tuple
 import numpy as np
 
 from repro.data.tensor import Tensor
-from repro.errors import ShapeError
+from repro.errors import ShapeError, StreamPropertyError
 from repro.runtime.planner import ShardPlan
 
 
 def merge_partials(kernel, plan: ShardPlan, partials: Sequence[Any]):
-    """Combine shard results per the plan's split kind."""
+    """Combine shard results per the plan's split kind.
+
+    Asserts the plan's :class:`SplitCertificate` against the semiring
+    actually executing the merge — the certificate was issued at plan
+    time, and re-checking here makes the ⊕-law dependence of the
+    contracted merge (commutativity: partials complete out of range
+    order) a loud :class:`StreamPropertyError` instead of a silent
+    wrong answer, even for hand-constructed plans.
+    """
+    sr = kernel.ops.semiring
+    if plan.certificate is not None:
+        plan.certificate.check(sr)
+    elif plan.kind == "contracted" and not getattr(sr, "commutative_add", True):
+        raise StreamPropertyError(
+            f"uncertified contracted merge on {plan.split_attr!r}: ⊕ of "
+            f"semiring {sr.name!r} is not commutative, so ⊕-combining "
+            "shard partials out of range order is unsound"
+        )
     if plan.kind == "free":
         return _merge_free(kernel, plan, partials)
     return _merge_contracted(kernel, partials)

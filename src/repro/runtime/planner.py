@@ -39,6 +39,11 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.compiler.analysis.streamprops import (
+    SplitCertificate,
+    certify_split,
+    refusal_reason,
+)
 from repro.compiler.formats import FunctionInput, TensorInput
 from repro.compiler.resilience import logger
 from repro.data.tensor import Tensor
@@ -46,54 +51,46 @@ from repro.data.tensor import Tensor
 
 @dataclass(frozen=True)
 class ShardPlan:
-    """A legal split: attribute, kind, and the per-shard windows."""
+    """A legal split: attribute, kind, and the per-shard windows.
+
+    ``certificate`` is the static legality proof the plan was derived
+    from (:func:`repro.compiler.analysis.streamprops.certify_split`);
+    the merger re-checks it against the executing semiring before any
+    contracted ⊕-merge.  It defaults to None only for backward
+    compatibility with hand-constructed plans in tests.
+    """
 
     split_attr: str
     kind: str                       # "free" | "contracted"
     dim: int                        # full range of the split attribute
     ranges: Tuple[Tuple[int, int], ...]   # [lo, hi) per shard, covering [0, dim)
+    certificate: Optional[SplitCertificate] = None
 
     @property
     def shards(self) -> int:
         return len(self.ranges)
 
 
-def _split_kind(kernel, attr: str) -> Optional[str]:
-    """``"free"``/``"contracted"`` when every operand admits a split on
-    ``attr``, else None."""
-    any_outer = False
-    for spec in kernel.input_specs.values():
-        k = spec.split_kind(attr)
-        if k is None:
-            return None
-        if k == "outer":
-            any_outer = True
-    if not any_outer:
-        # no operand is actually partitioned: "splitting" would run the
-        # whole problem in every shard
-        return None
-    out = kernel.output
-    if out is None or attr not in out.attrs:
-        return "contracted"
-    if out.attrs[0] == attr:
-        return "free"
-    return None
+def candidate_splits(kernel) -> List[Tuple[str, SplitCertificate]]:
+    """All certifiable ``(attr, certificate)`` pairs, free splits first.
 
-
-def candidate_splits(kernel) -> List[Tuple[str, str]]:
-    """All legal ``(attr, kind)`` pairs, free splits first.
-
-    Free splits are preferred: shard outputs are windows of the result
-    (concatenation merge, shard-sized allocations) instead of
-    full-shape partials that must be ⊕-reduced.
+    Legality is no longer an ad-hoc local rule: each candidate carries
+    the :class:`SplitCertificate` derived by the stream-property
+    analysis (strictly monotone outermost levels may be windowed; the
+    merge kind and its semiring-law requirements follow from the output
+    placement).  Free splits are preferred: shard outputs are windows
+    of the result (concatenation merge, shard-sized allocations)
+    instead of full-shape partials that must be ⊕-reduced.
     """
     attrs: List[str] = []
     for spec in kernel.input_specs.values():
         for a in spec.attrs:
             if a not in attrs:
                 attrs.append(a)
-    cands = [(a, k) for a in attrs if (k := _split_kind(kernel, a)) is not None]
-    cands.sort(key=lambda c: 0 if c[1] == "free" else 1)
+    cands = [
+        (a, c) for a in attrs if (c := certify_split(kernel, a)) is not None
+    ]
+    cands.sort(key=lambda c: 0 if c[1].kind == "free" else 1)
     return cands
 
 
@@ -147,17 +144,17 @@ def plan_shards(
     request should fail loudly, an automatic one quietly.
     """
     if split_attr is not None:
-        kind = _split_kind(kernel, split_attr)
-        if kind is None:
+        cert = certify_split(kernel, split_attr)
+        if cert is None:
             raise ValueError(
                 f"attribute {split_attr!r} is not splittable for kernel "
-                f"{kernel.name!r}: it must be outermost (or absent) in every "
-                "operand and outermost (or absent) in the output"
+                f"{kernel.name!r}: "
+                f"{refusal_reason(kernel, split_attr)}"
             )
-        cands = [(split_attr, kind)]
+        cands = [(split_attr, cert)]
     else:
         cands = candidate_splits(kernel)
-    for attr, kind in cands:
+    for attr, cert in cands:
         dim = _attr_dim(kernel, tensors, attr)
         if dim is None or dim <= 1:
             continue
@@ -166,10 +163,10 @@ def plan_shards(
             if isinstance(spec, TensorInput) and spec.split_kind(attr) == "outer":
                 weights += tensors[name].outer_weights()
         ranges = _balanced_ranges(weights, dim, shards)
-        plan = ShardPlan(attr, kind, dim, ranges)
+        plan = ShardPlan(attr, cert.kind, dim, ranges, cert)
         logger.debug(
             "kernel %r: split on %r (%s), %d shard(s) over dim %d",
-            kernel.name, attr, kind, plan.shards, dim,
+            kernel.name, attr, cert.kind, plan.shards, dim,
         )
         return plan
     return None

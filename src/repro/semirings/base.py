@@ -31,6 +31,14 @@ class Semiring:
     #: admit extra rewrites (e.g. boolean projection is union).
     idempotent_add: bool = False
 
+    #: Whether addition is commutative.  True for every semiring in the
+    #: paper's sense (Definition 4.5 requires a commutative monoid), so
+    #: the default is True; the flag exists so the static stream-property
+    #: analysis and the shard merger can state — and check — that the
+    #: contracted ⊕-merge of Theorem 6.1 relies on it, and so tests can
+    #: model a non-commutative ⊕ and watch the planner refuse the split.
+    commutative_add: bool = True
+
     #: Optional numpy ufunc implementing ⊕ elementwise over arrays
     #: (``np.add`` for (+, ·), ``np.minimum`` for (min, +), …).  When
     #: present, the parallel runtime's merger ⊕-reduces shard partials

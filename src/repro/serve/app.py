@@ -36,6 +36,7 @@ from repro.errors import (
     KernelTimeoutError,
     ReproError,
     ShapeError,
+    StreamPropertyError,
 )
 from repro.serve.admission import AdmissionController
 from repro.serve.coalesce import Batcher, SingleFlight
@@ -52,6 +53,18 @@ from repro.serve.stream import (
     send_partial_marker,
     stream_result,
 )
+
+def _validation_body(exc: BaseException) -> Dict[str, Any]:
+    """The 400 response body for a request-validation failure.
+
+    A :class:`StreamPropertyError` carries blame records naming the
+    offending AST node; its :meth:`diagnostic` *is* the body.  Other
+    validation errors keep the plain ``{error, type}`` shape.
+    """
+    if isinstance(exc, StreamPropertyError):
+        return exc.diagnostic()
+    return {"error": str(exc), "type": type(exc).__name__}
+
 
 #: idle keep-alive read budget per request, seconds
 IDLE_TIMEOUT = 30.0
@@ -197,11 +210,8 @@ class ContractionServer:
             return True
         try:
             prepared = await self._in_executor(prepare_request, doc)
-        except (QueryError, ShapeError, ValueError) as exc:
-            await send_json(
-                writer, 400,
-                {"error": str(exc), "type": type(exc).__name__},
-            )
+        except (QueryError, ShapeError, StreamPropertyError, ValueError) as exc:
+            await send_json(writer, 400, _validation_body(exc))
             return True
 
         rejection = self.admission.admit(prepared, self.lifecycle.inflight)
@@ -239,6 +249,14 @@ class ContractionServer:
                 {"error": "deadline exceeded", "budget_s": budget.total},
                 retry_after=self.config.deadline,
             )
+            return True
+        except (QueryError, ShapeError, StreamPropertyError) as exc:
+            # validation failures that only surface once the kernel is
+            # actually built (workspace shape checks, deferred property
+            # verdicts) are still the *request's* fault — a 400 with the
+            # diagnostic, never a generic 500
+            self.lifecycle.bump("failed")
+            await send_json(writer, 400, _validation_body(exc))
             return True
         except ReproError as exc:
             self.lifecycle.bump("failed")

@@ -207,7 +207,13 @@ def prepare_request(body: Any) -> PreparedQuery:
 
     Raises :class:`QueryError` (→ 400) for anything malformed; shape
     and dimension mismatches surface as the front-end's own
-    :class:`~repro.krelation.schema.ShapeError` (also → 400).
+    :class:`~repro.krelation.schema.ShapeError` (also → 400).  Because
+    canonicalization computes the kernel cache key here, the static
+    stream-property lint runs too (``REPRO_STREAM_VERIFY``): an
+    unlawful pipeline raises
+    :class:`~repro.errors.StreamPropertyError`, which the server maps
+    to 400 with the blame diagnostic — a proven-ill-formed query never
+    reaches a compiler or a worker.
     """
     if not isinstance(body, Mapping):
         raise QueryError("request body must be a JSON object")

@@ -58,10 +58,14 @@ def dot_kernel(n: int = N, seed: int = 3):
 class TestPlanner:
     def test_spmv_splits_free_on_rows(self):
         kernel, tensors = spmv_kernel()
-        assert candidate_splits(kernel) == [("i", "free")]
+        cands = candidate_splits(kernel)
+        assert [(a, c.kind) for a, c in cands] == [("i", "free")]
+        assert cands[0][1].requires == ()  # concatenation needs no ⊕ laws
         plan = plan_shards(kernel, tensors, 4)
         assert plan is not None and plan.kind == "free"
         assert plan.split_attr == "i"
+        assert plan.certificate is not None
+        assert plan.certificate.split_attr == "i"
         # windows tile [0, N) exactly, in order
         assert plan.ranges[0][0] == 0 and plan.ranges[-1][1] == N
         for (_, hi), (lo, _) in zip(plan.ranges[:-1], plan.ranges[1:]):

@@ -1,0 +1,108 @@
+"""Pre-execution validation failures are the client's fault: 400 with a
+typed body, never a generic 500 (PR 8 regression).
+
+Two windows exist for a request to be proven ill-formed:
+
+* at admission — ``prepare_request`` canonicalizes and computes the
+  kernel key, which runs shape checking and the static stream-property
+  lint; and
+* after admission but before any result exists — some shape contracts
+  (e.g. the workspace requirement for an out-of-order sparse output)
+  only trigger when the kernel is actually built.
+
+Both must surface as 400.  The second was the regression: a deferred
+:class:`ShapeError` fell through to the generic ``ReproError`` → 500
+branch even though retrying the request can never succeed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.serve.harness import einsum_query
+
+
+def _body(resp) -> dict:
+    return json.loads(resp.body.decode())
+
+
+class TestPostAdmissionValidation:
+    def test_deferred_shape_error_is_400(self, make_server):
+        """'ab,ac->bc' with a ('sparse','sparse') output passes
+        admission (shapes agree) but the builder's workspace check
+        raises ShapeError at compile time — the client must see 400
+        with the typed error, not a 500."""
+        harness = make_server()
+        doc = einsum_query("ab,ac->bc", output_formats=["sparse", "sparse"])
+        resp = harness.query(doc)
+        assert resp.status == 400, resp.body
+        body = _body(resp)
+        assert body["type"] == "ShapeError"
+        assert "sparse" in body["error"]
+
+    def test_deferred_shape_error_counts_as_failed_not_crash(self, make_server):
+        harness = make_server()
+        doc = einsum_query("ab,ac->bc", output_formats=["sparse", "sparse"])
+        harness.query(doc)
+        stats = _body(harness.request("GET", "/stats"))
+        counters = stats.get("counters", stats)
+        assert counters.get("failed", 0) >= 1
+
+
+class TestAdmissionPropertyLint:
+    def test_well_formed_query_unaffected(self, make_server):
+        harness = make_server()
+        resp = harness.query(einsum_query())
+        assert resp.status == 200, resp.body
+
+    def test_stream_property_diagnostic_shape(self):
+        """The machine-readable diagnostic the server returns for a
+        StreamPropertyError: error text, type, and one blame record
+        per finding with the offending node named."""
+        from repro.errors import StreamPropertyError
+        from repro.compiler.analysis.streamprops import Blame
+
+        exc = StreamPropertyError(
+            "verification failed",
+            kernel="q",
+            findings=[
+                Blame(node="Σ_i", path="expr/Σ_i", rule="sum-bounded",
+                      prop="terminating", detail="unbounded level"),
+            ],
+        )
+        diag = exc.diagnostic()
+        assert diag["type"] == "StreamPropertyError"
+        assert diag["kernel"] == "q"
+        assert diag["findings"] == [{
+            "node": "Σ_i",
+            "path": "expr/Σ_i",
+            "rule": "sum-bounded",
+            "property": "terminating",
+            "detail": "unbounded level",
+        }]
+
+    def test_server_maps_stream_property_error_to_400(self, make_server, monkeypatch):
+        """Force the admission path to raise StreamPropertyError and
+        check the full diagnostic body comes back on a 400."""
+        import repro.serve.app as app_mod
+        from repro.compiler.analysis.streamprops import Blame
+        from repro.errors import StreamPropertyError
+
+        def reject(doc):
+            raise StreamPropertyError(
+                "pipeline not lawful",
+                kernel="evil",
+                findings=[
+                    Blame(node="Σ_i", path="expr/Σ_i", rule="sum-bounded",
+                          prop="terminating", detail="diverges"),
+                ],
+            )
+
+        monkeypatch.setattr(app_mod, "prepare_request", reject)
+        harness = make_server()
+        resp = harness.query(einsum_query())
+        assert resp.status == 400, resp.body
+        body = _body(resp)
+        assert body["type"] == "StreamPropertyError"
+        assert body["findings"][0]["node"] == "Σ_i"
+        assert body["findings"][0]["rule"] == "sum-bounded"

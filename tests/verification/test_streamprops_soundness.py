@@ -1,0 +1,144 @@
+"""Soundness of the static stream-property analysis against the dynamic
+checkers of Section 6 (PR 8).
+
+Direction of soundness: a static *positive* verdict must never
+contradict the dynamic checker (static "monotone" ⇒ the sampled
+automaton passes ``check_monotone``, and so on).  The converse is not
+required — the static pass is conservative and may reject (or decline
+to certify) a stream the dynamic probe happens to pass.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.analysis.streamprops import analyze_stream, infer_stream
+from repro.streams.combinators import (
+    AddStream,
+    ContractStream,
+    MulStream,
+)
+from repro.streams.sources import SparseStream, from_dict
+from repro.verification.checkers import (
+    check_lawful,
+    check_monotone,
+    check_strictly_monotone,
+)
+
+from ..strategies import EXACT_SEMIRINGS, sparse_data
+
+MAX_STEPS = 2_000
+
+
+@st.composite
+def stream_case(draw):
+    """A small stream graph over an exactly-representable semiring."""
+    name = draw(st.sampled_from(sorted(EXACT_SEMIRINGS)))
+    semiring, _ = EXACT_SEMIRINGS[name]
+    kind = draw(st.sampled_from(
+        ("source", "mul", "add", "contract", "nested")
+    ))
+    if kind == "nested":
+        data = draw(sparse_data(("i", "j"), max_index=6,
+                                semiring=semiring, max_entries=6))
+        return semiring, from_dict(("i", "j"), data, semiring)
+    a = from_dict(
+        ("i",),
+        draw(sparse_data(("i",), max_index=6, semiring=semiring,
+                         max_entries=6)),
+        semiring,
+    )
+    if kind == "source":
+        return semiring, a
+    b = from_dict(
+        ("i",),
+        draw(sparse_data(("i",), max_index=6, semiring=semiring,
+                         max_entries=6)),
+        semiring,
+    )
+    if kind == "mul":
+        return semiring, MulStream(a, b)
+    if kind == "add":
+        return semiring, AddStream(a, b)
+    return semiring, ContractStream(a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream_case())
+def test_static_positive_implies_dynamic_positive(case):
+    semiring, stream = case
+    sig, findings = analyze_stream(stream, semiring)
+    if findings:
+        return  # rejected statically: nothing to contradict
+    if sig.monotone:
+        assert check_monotone(stream, max_steps=MAX_STEPS)
+    if sig.strict:
+        assert check_strictly_monotone(stream, max_steps=MAX_STEPS)
+    if sig.lawful:
+        assert check_lawful(stream, max_steps=MAX_STEPS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream_case())
+def test_clean_verdict_means_no_obligations_outstanding(case):
+    """analyze_stream resolves obligations against the stream's own
+    semiring: a clean verdict means every ⊕-law dependence is
+    discharged, so re-resolving finds nothing new."""
+    semiring, stream = case
+    sig, findings = analyze_stream(stream, semiring)
+    if findings:
+        return
+    from repro.compiler.analysis.streamprops import resolve
+
+    assert resolve(sig, semiring) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_data(("i",), max_index=6, max_entries=6))
+def test_declared_nonmonotone_matches_dynamic_witness(data):
+    """A source that *actually* regresses its indices: the static pass
+    refuses it by declaration, and the dynamic checker agrees whenever
+    there are at least two entries to compare."""
+    if len(data) < 2:
+        return
+    from repro.semirings import INT
+
+    inds = sorted(i for (i,) in data)
+    vals = [data[(i,)] for i in inds]
+
+    class Backwards(SparseStream):
+        static_properties = {
+            "lawful": False, "monotone": False, "strict": False,
+        }
+
+        def index(self, q):  # regress: emit indices in reverse
+            return self.inds[self.hi - 1 - (q - self.lo)]
+
+    s = Backwards("i", inds, vals, INT)
+    sig, findings = analyze_stream(s, INT)
+    assert findings  # static: refused
+    assert not sig.monotone
+    # dynamic: the reversed index sequence is caught by the probe
+    assert not check_monotone(s, max_steps=MAX_STEPS)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_data(("i",), max_index=6, max_entries=6))
+def test_conservative_rejection_is_one_sided(data):
+    """Static non-certification (e.g. of a hand-rolled subclass with no
+    declaration) never claims a property: every flag in the signature
+    is False, so there is no positive verdict to contradict."""
+    from repro.semirings import INT
+
+    inds = sorted(i for (i,) in data)
+    vals = [data[(i,)] for i in inds]
+
+    class Opaque(SparseStream):
+        """Behaves exactly like SparseStream but is unknown to the
+        analysis (no declaration)."""
+
+    s = Opaque("i", inds, vals, INT)
+    sig = infer_stream(s)
+    assert not (sig.lawful or sig.monotone or sig.strict)
+    assert sig.blames and sig.blames[0].rule == "unknown-source"
+    # the dynamic checker of course passes — conservatism, not a clash
+    assert check_monotone(s, max_steps=MAX_STEPS)
