@@ -413,7 +413,7 @@ def deltas(quick: bool = False) -> None:
 
     root = Path(__file__).resolve().parents[1]
     reports = {}
-    for tag in ("PR4", "PR5", "PR6", "serve", "PR8"):
+    for tag in ("PR4", "PR5", "PR6", "serve", "PR8", "PR9"):
         path = root / f"BENCH_{tag}.json"
         if not path.exists():
             continue
@@ -431,7 +431,7 @@ def deltas(quick: bool = False) -> None:
               "first")
         return
     for tag, rep in reports.items():
-        if tag in ("serve", "PR8"):
+        if tag in ("serve", "PR8", "PR9"):
             continue      # rendered by their own sections below
         cpus = rep.get("cpus", "?")
         flag = ("" if isinstance(cpus, int) and cpus >= 2 else
@@ -481,6 +481,65 @@ def deltas(quick: bool = False) -> None:
 
     _serve_section(reports.get("serve"))
     _pr8_section(reports.get("PR8"))
+    _pr9_section(reports.get("PR9"))
+
+
+def _pr9_section(rep) -> None:
+    """Render BENCH_PR9.json (benchmarks/test_autotune_ablation.py):
+    the autotuner ablation — every workload under each fixed global
+    policy vs the adaptive tuner, plus the geometric-mean summary.
+    The acceptance bar: adaptive within 10% of the best fixed policy
+    per workload, and beating every fixed policy overall."""
+    if not rep:
+        return
+    results = rep.get("results")
+    if not isinstance(results, dict) or not results:
+        return
+    header("Autotuner ablation: adaptive vs fixed policies "
+           "(BENCH_PR9.json)")
+    flag = " [SMOKE — sizes shrunk, not representative]" \
+        if rep.get("smoke") else ""
+    print(f"backend={rep.get('backend', '?')}, "
+          f"cpus={rep.get('cpus', '?')}, "
+          f"generated={rep.get('generated', '?')}{flag}")
+    workloads = results.get("workloads")
+    if isinstance(workloads, dict) and workloads:
+        policies = []
+        for row in workloads.values():
+            if isinstance(row, dict) and isinstance(row.get("fixed_s"), dict):
+                policies = list(row["fixed_s"])
+                break
+        head = f"\n{'workload':<16}" + "".join(
+            f"{p:>10}" for p in policies) + f"{'adaptive':>10}{'vs best':>9}"
+        print(head)
+        for wl, row in workloads.items():
+            if not isinstance(row, dict):
+                continue
+            fixed = row.get("fixed_s", {})
+            cells = "".join(
+                f"{fixed.get(p, float('nan')) * 1e3:>9.2f}m"
+                for p in policies)
+            ad = row.get("adaptive_s")
+            ratio = row.get("adaptive_vs_best_fixed", "?")
+            print(f"{wl:<16}{cells}"
+                  f"{(ad or float('nan')) * 1e3:>9.2f}m{ratio:>8}x")
+    geo = results.get("geomean_s")
+    if isinstance(geo, dict) and geo:
+        ranked = sorted(
+            (v, k) for k, v in geo.items() if isinstance(v, (int, float)))
+        print("\ngeomean across the mix:")
+        for v, k in ranked:
+            marker = "  <- adaptive" if k == "adaptive" else ""
+            print(f"  {k:<10}{v * 1e3:>9.3f} ms{marker}")
+    decisions = results.get("decisions")
+    if isinstance(decisions, dict):
+        print("\ntuned decisions (spot checks):")
+        for wl, d in decisions.items():
+            if isinstance(d, dict):
+                print(f"  {wl}: order={d.get('order')}, "
+                      f"out={d.get('output_formats')}, "
+                      f"search={d.get('search')}, "
+                      f"opt={d.get('opt_level')}")
 
 
 def _pr8_section(rep) -> None:

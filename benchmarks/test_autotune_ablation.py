@@ -1,0 +1,338 @@
+"""Autotuner ablation: adaptive planning vs fixed global policies (PR 9).
+
+Every workload in the mix (the paper's §7 figures: SpMV/mat-mul/
+element-wise/dot from fig. 17, a fig. 19-style three-operand chain,
+and the fig. 20 triangle query) is run under five *fixed* global
+policies — the kind of one-size-fits-all configuration a user would
+pin — and under the adaptive tuner (``repro.autotune.tune_einsum``),
+which is free to pick ordering, output formats, search strategy, opt
+level, and executor per workload.  The adaptive path is timed
+end-to-end: signature hashing, decision-cache lookup, plan
+materialization (including any repacks the chosen ordering needs),
+warm-cache build, and the run itself — its overhead is part of the
+measurement, not excluded from it.
+
+Acceptance (asserted here, recorded in ``BENCH_PR9.json``):
+
+* per workload, adaptive is never more than 10% slower than the best
+  fixed policy *for that workload* (smoke mode widens the margin —
+  sub-millisecond runs on a shared container jitter);
+* overall (geometric mean across the mix), adaptive beats every
+  single fixed policy — no global setting matches per-workload
+  choices.
+
+``REPRO_TUNE_SMOKE=1`` shrinks the problem sizes for CI.  Reports
+land in tmp unless ``REPRO_BENCH_RECORD=1`` (see
+:mod:`repro.benchrecord`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import shutil
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.autotune import calibrate, reset_profile_cache
+from repro.autotune.decisions import decision_cache
+from repro.benchrecord import report_path
+from repro.tensor.einsum import (
+    _appearance_order,
+    parse_spec,
+    plan_einsum,
+    repack,
+)
+from repro.autotune.tuner import _candidate_orders, tune_einsum
+from repro.workloads import (
+    dense_vector,
+    sparse_matrix,
+    sparse_vector,
+    triangle_tensors,
+)
+
+REPORT_PATH = report_path("BENCH_PR9.json")
+RESULTS = {}
+
+HAVE_GCC = shutil.which("gcc") is not None
+BACKEND = "c" if HAVE_GCC else "python"
+SMOKE = bool(os.environ.get("REPRO_TUNE_SMOKE", "").strip())
+
+#: adaptive may be at most this factor slower than the best fixed
+#: policy on any single workload (wider in smoke mode: sub-ms runs)
+MARGIN = 1.35 if SMOKE else 1.10
+SLACK_S = 2e-3 if SMOKE else 1e-3
+REPS = 3 if SMOKE else 7
+
+
+def _scale(full: int, smoke: int) -> int:
+    return smoke if SMOKE else full
+
+
+def _workloads():
+    """The benchmark mix: (name, spec, tensors)."""
+    n_spmv = _scale(4000, 600)
+    d_spmv = 0.05 if not SMOKE else 0.01
+    n_mm = _scale(800, 120)
+    d_mm = 0.05 if not SMOKE else 0.02
+    r_mul, c_mul = _scale(200, 60), _scale(50000, 20000)
+    nnz_mul0 = _scale(400, 50)
+    n_dot = _scale(2000000, 40000)
+    n_tri = _scale(1500, 40)
+    n_chain = _scale(2000, 200)
+    return [
+        ("fig17_spmv", "ij,j->i", (
+            sparse_matrix(n_spmv, n_spmv, d_spmv, attrs=("i", "j"), seed=21),
+            dense_vector(n_spmv, attr="j", seed=22),
+        )),
+        ("fig17_mmul", "ik,kj->ij", (
+            sparse_matrix(n_mm, n_mm, d_mm, attrs=("i", "k"), seed=23),
+            sparse_matrix(n_mm, n_mm, d_mm, attrs=("k", "j"), seed=24),
+        )),
+        # extreme per-row asymmetry: ~50 entries total against rows
+        # thousands wide — the galloping intersection's home turf (a
+        # linear merge walks half of each wide run to find the lone
+        # co-entry; a gallop pays C_BINARY·log2 probes)
+        ("fig17_smul", "ij,ij->ij", (
+            sparse_matrix(r_mul, c_mul, nnz_mul0 / (r_mul * c_mul),
+                          attrs=("i", "j"), seed=25),
+            sparse_matrix(r_mul, c_mul, 0.1, attrs=("i", "j"), seed=26),
+        )),
+        # balanced intersection: galloping only adds overhead here
+        ("fig17_dot", "i,i->", (
+            sparse_vector(n_dot, 0.25, attr="i", seed=27),
+            sparse_vector(n_dot, 0.25, attr="i", seed=28),
+        )),
+        ("fig19_chain", "ij,jk,k->i", (
+            sparse_matrix(n_chain, n_chain, 0.01, attrs=("i", "j"), seed=29),
+            sparse_matrix(n_chain, n_chain, 0.01, attrs=("j", "k"), seed=30),
+            dense_vector(n_chain, attr="k", seed=31),
+        )),
+        ("fig20_triangle", "ab,bc,ac->", triangle_tensors(n_tri)),
+    ]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _tune_env(tmp_path_factory):
+    """Isolated tune cache + an explicitly measured profile.
+
+    The decision cache and calibration profile live in a per-run tmp
+    dir so the benchmark never reads stale decisions from (or leaks
+    machine constants into) the user's real cache."""
+    cache_dir = tmp_path_factory.mktemp("atun_bench")
+    old = os.environ.get("REPRO_TUNE_CACHE_DIR")
+    os.environ["REPRO_TUNE_CACHE_DIR"] = str(cache_dir)
+    reset_profile_cache()
+    decision_cache.clear_memo()
+    calibrate(force=True)
+    # the calibration probes spin up persistent pool workers; on a
+    # small box their mere residency skews sub-10ms timings — drop
+    # them before measuring
+    from repro.runtime.pool import shutdown_shared_pool
+
+    shutdown_shared_pool()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_TUNE_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_TUNE_CACHE_DIR"] = old
+    reset_profile_cache()
+    decision_cache.clear_memo()
+    report = {
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "backend": BACKEND,
+        "smoke": SMOKE,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": RESULTS,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def _best(fn, reps=REPS):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _conform(spec, tensors, order):
+    """Repack operands (and rewrite their subscripts) to a fixed
+    global ordering — the cost a pinned bad ordering actually incurs,
+    so it is part of the policy's measured time."""
+    operands, output = parse_spec(spec)
+    out, new_ops = [], []
+    for letters, t in zip(operands, tensors):
+        want = tuple(a for a in order if a in letters)
+        new_ops.append(want)
+        if tuple(t.attrs) != want:
+            fmts = tuple(t.formats[t.attrs.index(a)] for a in want)
+            t = repack(t, want, fmts)
+        out.append(t)
+    spec = ",".join("".join(o) for o in new_ops) + "->" + "".join(output)
+    return spec, out
+
+
+def _adversarial_order(spec):
+    """A legal-but-different fixed ordering: the lexicographically
+    last output-preserving permutation that is not appearance order."""
+    operands, output = parse_spec(spec)
+    appearance = _appearance_order(operands)
+    alts = [o for o in _candidate_orders(operands, tuple(output))
+            if o != appearance]
+    return max(alts) if alts else appearance
+
+
+def _run_fixed(spec, tensors, *, search="linear", opt=2, order=None,
+               parallel=None, workers=None):
+    if order:
+        spec, tensors = _conform(spec, tensors, order)
+    plan = plan_einsum(spec, *tensors, order=order, backend=BACKEND,
+                       search=search, opt_level=opt)
+    kernel = plan.build()
+    kwargs = {}
+    if parallel:
+        kwargs = dict(parallel=parallel, workers=workers, shards=workers)
+    return kernel.run(plan.inputs, **kwargs)
+
+
+def _run_adaptive(spec, tensors):
+    result = tune_einsum(spec, *tensors, backend=BACKEND)
+    plan = result.plan()
+    kernel = plan.build()
+    d = result.decision
+    kwargs = {}
+    if d.executor:
+        kwargs = dict(parallel=d.executor, workers=d.shards,
+                      shards=d.shards)
+    return kernel.run(plan.inputs, capacity=d.capacity_hint,
+                      auto_grow=True, **kwargs)
+
+
+#: the fixed global policies: what a user pins when they cannot tune
+POLICIES = {
+    "default": dict(),
+    "binary": dict(search="binary"),
+    "opt0": dict(opt=0),
+    "thread4": dict(parallel="thread", workers=4),
+    # "altorder" is materialized per workload (the ordering depends on
+    # the spec); see test_ablation
+}
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(max(v, 1e-9)) for v in values)
+                    / len(values))
+
+
+def test_ablation():
+    """The headline table: every workload under every policy."""
+    per_policy = {name: [] for name in list(POLICIES) + ["altorder"]}
+    adaptive = []
+    table = {}
+
+    for name, spec, tensors in _workloads():
+        alt = _adversarial_order(spec)
+        thunks = {
+            pname: (lambda kw=kw: _run_fixed(spec, tensors, **kw))
+            for pname, kw in POLICIES.items()
+        }
+        # the first adaptive call populates the decision cache (a
+        # miss, full search); the timed reps then measure the steady
+        # state the serving layer sees — warm cache, tuned plan
+        thunks["adaptive"] = lambda: _run_adaptive(spec, tensors)
+        # warm every configuration (compiles, caches), then measure
+        # round-robin so machine drift hits all policies equally
+        # instead of biasing whichever was timed last
+        times = {}
+        for pname, fn in thunks.items():
+            fn()
+            times[pname] = float("inf")
+        for _ in range(REPS):
+            for pname, fn in thunks.items():
+                t0 = time.perf_counter()
+                fn()
+                times[pname] = min(times[pname],
+                                   time.perf_counter() - t0)
+        # the adversarial ordering loses by orders of magnitude (it
+        # repacks every operand per call); one shot suffices and keeps
+        # the suite's wall time sane
+        t0 = time.perf_counter()
+        _run_fixed(spec, tensors, order=alt)
+        times["altorder"] = time.perf_counter() - t0
+        t_adaptive = times.pop("adaptive")
+        row = times
+
+        for pname, t in row.items():
+            per_policy[pname].append(t)
+        adaptive.append(t_adaptive)
+        t_best_fixed = min(row.values())
+        table[name] = {
+            "fixed_s": {k: round(v, 6) for k, v in row.items()},
+            "adaptive_s": round(t_adaptive, 6),
+            "best_fixed": min(row, key=row.get),
+            "adaptive_vs_best_fixed": round(t_adaptive / t_best_fixed, 3),
+            "altorder_order": list(alt),
+        }
+        assert t_adaptive <= t_best_fixed * MARGIN + SLACK_S, (
+            f"{name}: adaptive {t_adaptive * 1e3:.2f} ms vs best fixed "
+            f"({min(row, key=row.get)}) {t_best_fixed * 1e3:.2f} ms"
+        )
+
+    geo = {name: _geomean(ts) for name, ts in per_policy.items()}
+    geo_adaptive = _geomean(adaptive)
+    RESULTS["workloads"] = table
+    RESULTS["geomean_s"] = {
+        "adaptive": round(geo_adaptive, 6),
+        **{k: round(v, 6) for k, v in geo.items()},
+    }
+    best_policy = min(geo, key=geo.get)
+    if SMOKE:
+        # sub-millisecond smoke runs put the tuner's ~30 µs per-call
+        # overhead at the same scale as the policy differences; the
+        # strict "beats every fixed policy" bar is asserted on the
+        # full-size recorded run, smoke just pins sanity
+        assert geo_adaptive < geo[best_policy] * 1.25 + SLACK_S, (
+            f"adaptive geomean {geo_adaptive * 1e3:.2f} ms way off the "
+            f"best fixed policy {best_policy} ({geo[best_policy] * 1e3:.2f} ms)"
+        )
+    else:
+        assert geo_adaptive < geo[best_policy], (
+            f"adaptive geomean {geo_adaptive * 1e3:.2f} ms does not beat "
+            f"the best fixed policy {best_policy} "
+            f"({geo[best_policy] * 1e3:.2f} ms)"
+        )
+
+
+def test_decisions_match_cost_model_story():
+    """Spot-check the *reasons* behind the wins: asymmetric
+    intersections gallop, balanced ones stay linear."""
+    workloads = {name: (spec, tensors)
+                 for name, spec, tensors in _workloads()}
+    spec, tensors = workloads["fig17_smul"]
+    smul = tune_einsum(spec, *tensors, backend=BACKEND)
+    assert smul.decision.search == "binary", smul.explain()
+
+    spec, tensors = workloads["fig17_dot"]
+    dot = tune_einsum(spec, *tensors, backend=BACKEND)
+    assert dot.decision.search == "linear", dot.explain()
+
+    spec, tensors = workloads["fig17_spmv"]
+    spmv = tune_einsum(spec, *tensors, backend=BACKEND)
+    assert spmv.decision.order == ("i", "j"), spmv.explain()
+    again = tune_einsum(spec, *tensors, backend=BACKEND)
+    assert again.cache == "hit"        # the decision cache is warm now
+    RESULTS["decisions"] = {
+        "fig17_smul": smul.decision.as_dict(),
+        "fig17_dot": dot.decision.as_dict(),
+        "fig17_spmv": spmv.decision.as_dict(),
+    }

@@ -22,13 +22,14 @@ import numpy as np
 import pytest
 
 from repro.compiler import kernel as kernel_mod
+from repro.benchrecord import report_path
 from repro.compiler.cache import KernelCache
 from repro.compiler.kernel import OutputSpec, compile_kernel
 from repro.krelation import Schema
 from repro.lang import Sum, TypeContext, Var
 from repro.workloads import dense_matrix, dense_vector, sparse_matrix
 
-REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_PR1.json"
+REPORT_PATH = report_path("BENCH_PR1.json")
 RESULTS = {}
 
 

@@ -25,11 +25,12 @@ import numpy as np
 import pytest
 
 from repro.compiler.kernel import OutputSpec, compile_kernel
+from repro.benchrecord import report_path
 from repro.krelation import Schema
 from repro.lang import Sum, TypeContext, Var
 from repro.workloads import dense_matrix, dense_vector, sparse_matrix
 
-REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_PR4.json"
+REPORT_PATH = report_path("BENCH_PR4.json")
 RESULTS = {}
 
 CPUS = os.cpu_count() or 1

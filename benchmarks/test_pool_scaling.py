@@ -37,12 +37,13 @@ import pytest
 
 from repro.compiler.kernel import OutputSpec, compile_kernel
 from repro.krelation import Schema
+from repro.benchrecord import report_path
 from repro.lang import Sum, TypeContext, Var
 from repro.runtime import pool as pool_mod
 from repro.runtime.supervisor import can_supervise, run_supervised
 from repro.workloads import dense_matrix, dense_vector, sparse_matrix
 
-REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_PR6.json"
+REPORT_PATH = report_path("BENCH_PR6.json")
 RESULTS = {}
 
 CPUS = os.cpu_count() or 1

@@ -37,10 +37,11 @@ from repro.compiler.scalars import scalar_ops_for
 from repro.compiler.formats import TensorInput
 from repro.krelation import Schema
 from repro.lang import Sum, TypeContext, Var
+from repro.benchrecord import report_path
 from repro.semirings import FLOAT
 from repro.workloads import dense_vector, sparse_matrix
 
-REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_PR8.json"
+REPORT_PATH = report_path("BENCH_PR8.json")
 RESULTS = {}
 
 HAVE_GCC = shutil.which("gcc") is not None

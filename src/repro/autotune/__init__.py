@@ -1,0 +1,56 @@
+"""Adaptive query planning: cost model, calibration, decision cache.
+
+``repro.autotune`` turns the library's caller-chosen performance knobs
+— contraction ordering, per-level output formats, search strategy,
+opt level, shard executor and count — into planner decisions:
+
+* :mod:`~repro.autotune.costmodel` predicts abstract work units per
+  candidate plan from per-level tensor statistics;
+* :mod:`~repro.autotune.calibrate` measures (once per machine, then
+  persists) the constants that turn units into seconds and price
+  shard dispatch honestly;
+* :mod:`~repro.autotune.decisions` caches decisions by workload
+  signature with the kernel cache's crash-safety machinery and folds
+  observed runtimes back in (stale decisions are re-searched);
+* :mod:`~repro.autotune.tuner` enumerates the legal candidates —
+  bounded by the stream-property certificates — and picks.
+
+Routing: ``compile_kernel(..., tune="auto")`` /
+``KernelBuilder(tune=...)`` / the ``REPRO_TUNE`` environment knob for
+the library, ``ServeConfig.tune`` (default on) for the server.  With
+tuning off, none of this package's code runs.
+"""
+
+from repro.autotune.calibrate import (
+    CalibrationProfile,
+    calibrate,
+    get_profile,
+    reset_profile_cache,
+    tune_cache_dir,
+)
+from repro.autotune.costmodel import CostEstimate, OperandStats, estimate
+from repro.autotune.decisions import (
+    Decision,
+    DecisionCache,
+    DecisionRecord,
+    decision_cache,
+)
+from repro.autotune.tuner import TuneResult, tune_build, tune_einsum
+
+__all__ = [
+    "CalibrationProfile",
+    "CostEstimate",
+    "Decision",
+    "DecisionCache",
+    "DecisionRecord",
+    "OperandStats",
+    "TuneResult",
+    "calibrate",
+    "decision_cache",
+    "estimate",
+    "get_profile",
+    "reset_profile_cache",
+    "tune_build",
+    "tune_einsum",
+    "tune_cache_dir",
+]

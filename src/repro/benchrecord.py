@@ -1,0 +1,45 @@
+"""Where benchmark reports land: tmp scratch vs committed record.
+
+The ``benchmarks/`` suite (and the serve load test) write
+``BENCH_*.json`` result files.  Historically they wrote straight to
+the repo root, so every local or CI run dirtied the working tree with
+machine-specific numbers.  Writers now route through
+:func:`report_path`: by default reports go to a per-user scratch
+directory; set ``REPRO_BENCH_RECORD=1`` to write to the repo root
+when you *intend* to commit fresh numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.compiler.resilience import _FALSEY
+
+ENV_BENCH_RECORD = "REPRO_BENCH_RECORD"
+
+#: the repository root (this file lives at src/repro/benchrecord.py)
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def recording_enabled() -> bool:
+    """True when ``REPRO_BENCH_RECORD`` is set to a truthy value."""
+    raw = os.environ.get(ENV_BENCH_RECORD, "").strip().lower()
+    return bool(raw) and raw not in _FALSEY
+
+
+def report_path(filename: str) -> Path:
+    """Destination for a ``BENCH_*.json`` report.
+
+    Repo root under ``REPRO_BENCH_RECORD=1`` (committing a fresh
+    record); otherwise a scratch directory under the system tmpdir so
+    routine runs never dirty the working tree."""
+    if recording_enabled():
+        return REPO_ROOT / filename
+    scratch = Path(tempfile.gettempdir()) / "repro_bench"
+    scratch.mkdir(parents=True, exist_ok=True)
+    return scratch / filename
+
+
+__all__ = ["ENV_BENCH_RECORD", "recording_enabled", "report_path"]

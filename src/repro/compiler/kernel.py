@@ -188,6 +188,10 @@ class Kernel:
         #: the canonical build-cache key (None when caching is off);
         #: also keys the supervised-execution circuit breaker
         self.cache_key: Optional[str] = None
+        #: the autotuner's verdict when this kernel was built through
+        #: ``tune="auto"`` (a :class:`repro.autotune.TuneResult`); None
+        #: for untuned builds
+        self.tune_decision = None
         #: per-kernel supervision default: True/False force it on/off
         #: for every run; None defers to ``REPRO_SUPERVISE`` and then
         #: the auto policy (C-backed ``needs_guard`` kernels)
@@ -875,9 +879,14 @@ class KernelBuilder:
         parallel: Optional[str] = None,
         workers: Optional[int] = None,
         stream_verify: Optional[bool] = None,
+        tune: Optional[str] = None,
     ) -> None:
         if backend not in ("c", "python", "interp"):
             raise ValueError(f"unknown backend {backend!r}")
+        if tune not in (None, "off", "auto"):
+            raise ValueError(
+                f"unknown tune mode {tune!r}; expected 'off' or 'auto'"
+            )
         self.ctx = ctx
         self.ops = scalar_ops_for(semiring)
         self.backend = backend
@@ -908,6 +917,74 @@ class KernelBuilder:
         #: before anything lowers (None = the ``REPRO_STREAM_VERIFY``
         #: environment toggle, default on)
         self.stream_verify = stream_verify
+        #: autotune routing: "auto" consults :mod:`repro.autotune`
+        #: before building, "off" never does, None defers to
+        #: ``REPRO_TUNE`` (unset = off — tuning is strictly opt-in for
+        #: library builds)
+        self.tune = tune
+        self._tune_result = None
+
+    def _tuned_clone(
+        self,
+        expr: Expr,
+        inputs: Mapping[str, InputLike],
+        output: Optional[OutputSpec],
+        name: str,
+        tune: Optional[str],
+    ) -> Optional["KernelBuilder"]:
+        """A builder reconfigured by the autotuner, or None.
+
+        None means: tuning is off (the resolved mode — call argument,
+        then the builder's ``tune``, then ``REPRO_TUNE``, default off),
+        an input is not a concrete :class:`Tensor` (no statistics to
+        model), or the tuner itself failed — tuning is an optimization
+        and must never turn a buildable kernel into an error.  The
+        clone carries ``tune="off"`` so it cannot recurse, and the
+        caller's explicit ``parallel``/``workers`` settings win over
+        the tuned executor choice.
+        """
+        mode = tune if tune is not None else self.tune
+        if mode is None:
+            mode = resilience.tune_mode() or "off"
+        if mode != "auto":
+            return None
+        if not inputs or not all(
+            isinstance(b, Tensor) for b in inputs.values()
+        ):
+            return None
+        try:
+            from repro.autotune import tune_build
+
+            result = tune_build(
+                expr, self.ctx, dict(inputs), output,
+                semiring=self.ops.semiring, backend=self.backend,
+                name=name,
+            )
+        except Exception as exc:
+            logger.warning(
+                "autotune failed for kernel %r (%s: %s); building untuned",
+                name, type(exc).__name__, exc,
+            )
+            return None
+        d = result.decision
+        clone = KernelBuilder(
+            self.ctx,
+            self.ops.semiring,
+            backend=self.backend,
+            search=d.search,
+            locate=self.locate,
+            opt_level=(
+                d.opt_level if d.opt_level is not None else self.opt_level
+            ),
+            cache=self.cache,
+            verify=self.verify,
+            parallel=self.parallel if self.parallel is not None else d.executor,
+            workers=self.workers if self.workers is not None else d.shards,
+            stream_verify=self.stream_verify,
+            tune="off",
+        )
+        clone._tune_result = result
+        return clone
 
     def prepare(
         self,
@@ -916,6 +993,7 @@ class KernelBuilder:
         output: Optional[OutputSpec] = None,
         name: str = "kernel",
         attr_dims: Optional[Mapping[str, int]] = None,
+        tune: Optional[str] = None,
     ) -> Tuple[Dict[str, Union[TensorInput, FunctionInput]], Dict[str, int], Optional[str]]:
         """Validate a build request and compute its cache key *without*
         compiling anything.
@@ -927,7 +1005,14 @@ class KernelBuilder:
         quarantined can be rejected before any compile or fork happens.
         Every validation error (bad names, shape mismatches) raises
         here exactly as :meth:`build` would.
+
+        ``tune="auto"`` computes the key of the kernel a *tuned*
+        :meth:`build` would produce (the tuned knobs participate in the
+        cache key, so tuned and untuned builds never collide).
         """
+        clone = self._tuned_clone(expr, inputs, output, name, tune)
+        if clone is not None:
+            return clone.prepare(expr, inputs, output, name, attr_dims)
         if not _IDENT.match(name) or name.startswith("_"):
             raise ValueError(
                 f"kernel name {name!r} is not a valid identifier (leading "
@@ -1008,7 +1093,13 @@ class KernelBuilder:
         output: Optional[OutputSpec] = None,
         name: str = "kernel",
         attr_dims: Optional[Mapping[str, int]] = None,
+        tune: Optional[str] = None,
     ) -> Kernel:
+        clone = self._tuned_clone(expr, inputs, output, name, tune)
+        if clone is not None:
+            kernel = clone.build(expr, inputs, output, name, attr_dims)
+            kernel.tune_decision = clone._tune_result
+            return kernel
         specs, dims, key = self.prepare(expr, inputs, output, name, attr_dims)
         if key is not None:
             cached = kernel_cache.lookup(key)
@@ -1132,6 +1223,10 @@ class KernelBuilder:
             kernel.cache_key = key
         kernel.parallel = self.parallel
         kernel.workers = self.workers
+        # like parallel/workers: the tune stamp reflects the *latest*
+        # build call (an untuned rebuild of a memoized kernel clears
+        # it; the tuned path re-sets it after this returns)
+        kernel.tune_decision = self._tune_result
         return kernel
 
     # ------------------------------------------------------------------
@@ -1372,8 +1467,15 @@ def compile_kernel(
     parallel: Optional[str] = None,
     workers: Optional[int] = None,
     stream_verify: Optional[bool] = None,
+    tune: Optional[str] = None,
 ) -> Kernel:
-    """One-call convenience wrapper around :class:`KernelBuilder`."""
+    """One-call convenience wrapper around :class:`KernelBuilder`.
+
+    ``tune="auto"`` routes the build through :mod:`repro.autotune`
+    (search strategy, opt level, executor and shard count chosen by
+    the cost model); ``tune="off"`` never does; None defers to the
+    ``REPRO_TUNE`` environment knob (unset = off).
+    """
     if semiring is None:
         for binding in inputs.values():
             if isinstance(binding, Tensor):
@@ -1385,5 +1487,5 @@ def compile_kernel(
                             locate=locate, opt_level=opt_level,
                             vectorize=vectorize, cache=cache, verify=verify,
                             parallel=parallel, workers=workers,
-                            stream_verify=stream_verify)
+                            stream_verify=stream_verify, tune=tune)
     return builder.build(expr, inputs, output, name=name, attr_dims=attr_dims)

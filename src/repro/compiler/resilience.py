@@ -102,6 +102,9 @@ ENV_POOL_WARM = "REPRO_POOL_WARM"
 ENV_POOL_IDLE_TTL = "REPRO_POOL_IDLE_TTL"
 ENV_SHM_THRESHOLD = "REPRO_SHM_THRESHOLD"
 ENV_STRICT_ENV = "REPRO_STRICT_ENV"
+ENV_TUNE = "REPRO_TUNE"
+ENV_TUNE_CACHE_DIR = "REPRO_TUNE_CACHE_DIR"
+ENV_TUNE_CALIBRATE = "REPRO_TUNE_CALIBRATE"
 
 DEFAULT_GCC_TIMEOUT = 120.0
 DEFAULT_KERNEL_DEADLINE = 60.0
@@ -216,6 +219,25 @@ KNOWN_EXECUTORS = ("serial", "thread", "process", "pool")
 def fallback_enabled() -> bool:
     """Whether a failed C build may downgrade to the Python backend."""
     return os.environ.get(ENV_BACKEND_FALLBACK, "1").lower() not in _FALSEY
+
+
+def tune_mode() -> Optional[str]:
+    """The autotuner routing requested via ``REPRO_TUNE``.
+
+    Returns ``None`` when unset/empty (caller decides its own default;
+    the library default is off, the serve default is auto), ``"off"``
+    for any falsey spelling, ``"auto"`` for ``auto/on/1/true/yes``.  An
+    unrecognized value warns and behaves as unset — tuning is an
+    optimization, a typo must not change semantics."""
+    raw = os.environ.get(ENV_TUNE, "").strip().lower()
+    if not raw:
+        return None
+    if raw in _FALSEY:
+        return "off"
+    if raw in ("auto", "on", "1", "true", "yes"):
+        return "auto"
+    logger.warning("ignoring invalid %s=%r (expected off/auto)", ENV_TUNE, raw)
+    return None
 
 
 def ir_verify_enabled() -> bool:
@@ -667,6 +689,9 @@ __all__ = [
     "ENV_POOL_IDLE_TTL",
     "ENV_SHM_THRESHOLD",
     "ENV_STRICT_ENV",
+    "ENV_TUNE",
+    "ENV_TUNE_CACHE_DIR",
+    "ENV_TUNE_CALIBRATE",
     "env_int",
     "env_float",
     "env_flag",
@@ -695,6 +720,7 @@ __all__ = [
     "shm_threshold",
     "signal_name",
     "fallback_enabled",
+    "tune_mode",
     "ir_verify_enabled",
     "stream_verify_enabled",
     "sanitize_modes",

@@ -82,6 +82,12 @@ class PoolStats:
     calls: int = 0
     crashes: int = 0
     timeouts: int = 0
+    #: cumulative pool machinery overhead: wall time inside
+    #: :meth:`WorkerPool.run_call` minus the worker-reported kernel
+    #: seconds (worker acquisition, pipe round-trip, shm adoption) —
+    #: the *measured* per-dispatch cost the autotuner's calibration
+    #: prices shard plans with
+    overhead_s: float = 0.0
     #: typed failures per pool key — same keying as the circuit breaker
     failures: Dict[str, int] = field(default_factory=dict)
 
@@ -91,6 +97,11 @@ class PoolStats:
             self.timeouts += 1
         else:
             self.crashes += 1
+
+    @property
+    def avg_overhead_s(self) -> float:
+        """Mean dispatch overhead per completed call (0.0 before any)."""
+        return self.overhead_s / self.calls if self.calls else 0.0
 
 
 class _Worker:
@@ -326,6 +337,7 @@ class WorkerPool:
         threshold = (
             resilience.shm_threshold() if threshold is None else threshold
         )
+        t_enter = time.monotonic()
         w = self._acquire()
         self.stats.calls += 1
         rname = shm.result_name()
@@ -348,7 +360,11 @@ class WorkerPool:
             if reply[0] == "ok":
                 _tag, payload, seconds, pid = reply
                 w.warmed.add(key)
-                return shm.adopt_result(payload), seconds, pid
+                result = shm.adopt_result(payload)
+                self.stats.overhead_s += max(
+                    0.0, (time.monotonic() - t_enter) - seconds
+                )
+                return result, seconds, pid
             _tag, exc, _seconds = reply
             shm.unlink_by_name(rname)
             raise exc
@@ -448,6 +464,7 @@ class WorkerPool:
             "warmed_keys_per_idle_worker": warmed,
             "recipes": len(self._recipes),
             "stats": self.stats,
+            "avg_dispatch_overhead_s": self.stats.avg_overhead_s,
             "breaker": breaker_mod.breaker.snapshot(),
         }
 

@@ -209,7 +209,8 @@ class ContractionServer:
             await send_json(writer, 400, {"error": f"bad JSON: {exc}"})
             return True
         try:
-            prepared = await self._in_executor(prepare_request, doc)
+            prepared = await self._in_executor(
+                prepare_request, doc, self.config.tune)
         except (QueryError, ShapeError, StreamPropertyError, ValueError) as exc:
             await send_json(writer, 400, _validation_body(exc))
             return True
@@ -277,6 +278,10 @@ class ContractionServer:
             "coalesced": not led,
             "kernel_key": prepared.kernel_key,
         }
+        if prepared.tune_meta is not None:
+            meta["tune"] = prepared.tune_meta
+        if isinstance(doc, dict) and doc.get("explain"):
+            meta["explain"] = prepared.explanation
         if len(result.get("entries", ())) > self.config.stream_threshold:
             try:
                 await stream_result(

@@ -15,7 +15,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.compiler.resilience import env_flag, env_float, env_int
+from repro.compiler.resilience import env_flag, env_float, env_int, tune_mode
 from repro.errors import ConfigError
 
 ENV_HOST = "REPRO_SERVE_HOST"
@@ -82,6 +82,11 @@ class ServeConfig:
     max_body: int = 8 * 1024 * 1024
     #: results with more entries than this stream as chunked NDJSON
     stream_threshold: int = 4096
+    #: adaptive planning for open-knob einsum queries ("auto" | "off");
+    #: the *server* defaults to on — a service should run as fast as
+    #: the machine allows — while library builds default to off.
+    #: ``REPRO_TUNE`` overrides.
+    tune: str = "auto"
     #: chaos seam: called with every freshly built kernel (tests only)
     fault_hook: Optional[Callable] = field(default=None, repr=False)
 
@@ -90,6 +95,10 @@ class ServeConfig:
             raise ConfigError(
                 ENV_DEGRADE, str(self.degrade),
                 f"expected one of {DEGRADE_MODES}",
+            )
+        if self.tune not in ("off", "auto"):
+            raise ConfigError(
+                "REPRO_TUNE", str(self.tune), "expected 'off' or 'auto'",
             )
         if self.burst <= 0:
             self.burst = max(1, int(2 * self.qps))
@@ -130,6 +139,7 @@ class ServeConfig:
             stream_threshold=env_int(
                 ENV_STREAM_THRESHOLD, d.stream_threshold, minimum=1,
                 strict=True),
+            tune=tune_mode() or d.tune,
         )
 
 

@@ -155,6 +155,18 @@ class PreparedQuery:
     capacity: Optional[int] = None
     sql_text: Optional[str] = None
     sql_tables: Dict[str, Any] = field(default_factory=dict)
+    #: autotuner verdict (None when tuning was off / not applicable)
+    tune_sig: Optional[str] = None
+    tune_decision: Any = None
+    #: small per-response summary (decision-cache hit/miss, predicted
+    #: cost) — surfaced in the response ``meta``
+    tune_meta: Optional[Dict[str, Any]] = None
+    #: the full explain() payload, included only for ``explain=true``
+    explanation: Optional[Dict[str, Any]] = None
+    #: tuner-predicted runtime in seconds (admission may reject a
+    #: query predicted to blow its deadline — only when the prediction
+    #: rests on a *measured* calibration profile)
+    predicted_s: Optional[float] = None
 
     @property
     def batch_key(self) -> Optional[str]:
@@ -177,10 +189,31 @@ class PreparedQuery:
                 "request budget exhausted before dispatch",
                 deadline=budget.total,
             )
+        d = self.tune_decision
+        capacity = self.capacity
+        if capacity is None and d is not None and d.capacity_hint:
+            capacity = d.capacity_hint
+        run_kwargs: Dict[str, Any] = dict(parallel=False)
+        if d is not None and d.executor:
+            run_kwargs = dict(
+                parallel=d.executor, workers=d.shards, shards=d.shards,
+            )
+        import time as _time
+
+        t0 = _time.perf_counter()
         result = kernel.run(
-            self.plan.inputs, capacity=self.capacity, auto_grow=True,
-            parallel=False, supervised=True, deadline=remaining,
+            self.plan.inputs, capacity=capacity, auto_grow=True,
+            supervised=True, deadline=remaining, **run_kwargs,
         )
+        if self.tune_sig is not None:
+            try:
+                from repro.autotune import decision_cache
+
+                decision_cache.record_outcome(
+                    self.tune_sig, _time.perf_counter() - t0
+                )
+            except Exception:  # feedback must never fail a query
+                pass
         return _encode_result(result)
 
     def build(self, fault_hook=None):
@@ -202,8 +235,47 @@ class PreparedQuery:
         }
 
 
-def prepare_request(body: Any) -> PreparedQuery:
+def _tune_plan(spec, tensors, semiring):
+    """Consult the autotuner for an open-knob einsum query.
+
+    Returns ``(plan, sig, decision, meta, explanation, predicted_s)``
+    or None — tuning is advisory, any failure falls back to the
+    untuned plan (and is logged, never raised)."""
+    try:
+        from repro.autotune import tune_einsum
+
+        result = tune_einsum(spec, *tensors, semiring=semiring)
+        plan = result.plan()
+        meta = {
+            "cache": result.cache,
+            "order": list(result.decision.order or ()),
+            "search": result.decision.search,
+            "executor": result.decision.executor,
+            "shards": result.decision.shards,
+            "predicted_ms": round(result.predicted_s * 1e3, 3),
+        }
+        return (plan, result.signature, result.decision, meta,
+                result.explain(), result.predicted_s)
+    except Exception as exc:
+        from repro.compiler.resilience import logger
+
+        logger.warning(
+            "autotune failed for query spec %r (%s: %s); serving untuned",
+            spec, type(exc).__name__, exc,
+        )
+        return None
+
+
+def prepare_request(body: Any, tune: Optional[str] = None) -> PreparedQuery:
     """Parse and canonicalize one ``POST /query`` document.
+
+    ``tune`` is the server's configured autotune mode: under
+    ``"auto"``, einsum queries that leave the performance knobs open
+    (no explicit ``order`` / ``output_formats``) are planned by
+    :mod:`repro.autotune` — the decision cache is consulted here, at
+    admission time, so a warm signature costs one lookup.  Explicit
+    client knobs always win (the tuner is never consulted for them),
+    and any tuner failure falls back to the untuned plan.
 
     Raises :class:`QueryError` (→ 400) for anything malformed; shape
     and dimension mismatches surface as the front-end's own
@@ -251,15 +323,26 @@ def prepare_request(body: Any) -> PreparedQuery:
     if capacity is not None and not isinstance(capacity, int):
         raise QueryError("capacity must be an integer")
 
-    try:
-        plan = plan_einsum(
-            spec, *tensors,
-            output_formats=body.get("output_formats"),
-            order=body.get("order"),
-            semiring=semiring,
-        )
-    except ValueError as exc:
-        raise QueryError(str(exc)) from None
+    tuned = None
+    knobs_open = (
+        body.get("order") is None and body.get("output_formats") is None
+    )
+    if tune == "auto" and knobs_open:
+        tuned = _tune_plan(spec, tensors, semiring)
+
+    if tuned is not None:
+        plan, tune_sig, decision, tune_meta, explanation, predicted_s = tuned
+    else:
+        tune_sig = decision = tune_meta = explanation = predicted_s = None
+        try:
+            plan = plan_einsum(
+                spec, *tensors,
+                output_formats=body.get("output_formats"),
+                order=body.get("order"),
+                semiring=semiring,
+            )
+        except ValueError as exc:
+            raise QueryError(str(exc)) from None
     kernel_key = plan.cache_key()
     return PreparedQuery(
         kind="einsum",
@@ -268,6 +351,11 @@ def prepare_request(body: Any) -> PreparedQuery:
         deadline_ms=deadline_ms,
         plan=plan,
         capacity=capacity,
+        tune_sig=tune_sig,
+        tune_decision=decision,
+        tune_meta=tune_meta,
+        explanation=explanation,
+        predicted_s=predicted_s,
     )
 
 
@@ -304,9 +392,13 @@ def _prepare_sql(body: Mapping[str, Any], deadline_ms) -> PreparedQuery:
 
 def _body_digest(body: Mapping[str, Any]) -> str:
     """Content identity of a request: the canonical JSON of everything
-    except the deadline (two clients asking the same question with
-    different patience are still asking the same question)."""
-    stripped = {k: v for k, v in body.items() if k != "deadline_ms"}
+    except the deadline and the ``explain`` flag (two clients asking
+    the same question with different patience — or different curiosity
+    about the plan — are still asking the same question; each coalesced
+    caller gets the explain data of its *own* prepared query)."""
+    stripped = {
+        k: v for k, v in body.items() if k not in ("deadline_ms", "explain")
+    }
     blob = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 

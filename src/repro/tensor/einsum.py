@@ -15,7 +15,7 @@ import re
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.compiler.kernel import KernelBuilder, OutputSpec
+from repro.compiler.kernel import DEFAULT_OPT_LEVEL, KernelBuilder, OutputSpec
 from repro.data.tensor import Tensor
 from repro.krelation.schema import Attribute, Schema, ShapeError
 from repro.lang.ast import Expr, Var, sum_over
@@ -87,6 +87,7 @@ class EinsumPlan:
     semiring: Semiring
     backend: str
     search: str
+    opt_level: int = DEFAULT_OPT_LEVEL
 
     def builder(self) -> KernelBuilder:
         ctx = TypeContext(
@@ -94,7 +95,8 @@ class EinsumPlan:
             {v: frozenset(t.attrs) for v, t in self.inputs.items()},
         )
         return KernelBuilder(
-            ctx, self.semiring, backend=self.backend, search=self.search
+            ctx, self.semiring, backend=self.backend, search=self.search,
+            opt_level=self.opt_level,
         )
 
     def cache_key(self) -> Optional[str]:
@@ -120,6 +122,7 @@ def plan_einsum(
     semiring: Optional[Semiring] = None,
     backend: str = "c",
     search: str = "linear",
+    opt_level: int = DEFAULT_OPT_LEVEL,
     kernel_name: Optional[str] = None,
 ) -> EinsumPlan:
     """Canonicalize an einsum request into an :class:`EinsumPlan`.
@@ -180,7 +183,7 @@ def plan_einsum(
     return EinsumPlan(
         expr=expr, inputs=inputs, output=out_spec, attr_order=attr_order,
         attr_dims=ordered_dims, name=name, semiring=semiring,
-        backend=backend, search=search,
+        backend=backend, search=search, opt_level=opt_level,
     )
 
 

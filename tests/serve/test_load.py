@@ -41,10 +41,11 @@ from pathlib import Path
 
 import pytest
 
+from repro.benchrecord import report_path
 from tests.serve.harness import einsum_query, http_request
 
 REPO = Path(__file__).resolve().parents[2]
-REPORT_PATH = REPO / "BENCH_serve.json"
+REPORT_PATH = report_path("BENCH_serve.json")
 
 QPS = 10.0
 BURST = 3

@@ -88,7 +88,7 @@ class TestAdmissionPropertyLint:
         from repro.compiler.analysis.streamprops import Blame
         from repro.errors import StreamPropertyError
 
-        def reject(doc):
+        def reject(doc, *args, **kwargs):
             raise StreamPropertyError(
                 "pipeline not lawful",
                 kernel="evil",
