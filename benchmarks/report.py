@@ -413,7 +413,7 @@ def deltas(quick: bool = False) -> None:
 
     root = Path(__file__).resolve().parents[1]
     reports = {}
-    for tag in ("PR4", "PR5", "PR6", "serve", "PR8", "PR9"):
+    for tag in ("PR4", "PR5", "PR6", "serve", "PR8", "PR9", "PR10"):
         path = root / f"BENCH_{tag}.json"
         if not path.exists():
             continue
@@ -431,7 +431,7 @@ def deltas(quick: bool = False) -> None:
               "first")
         return
     for tag, rep in reports.items():
-        if tag in ("serve", "PR8", "PR9"):
+        if tag in ("serve", "PR8", "PR9", "PR10"):
             continue      # rendered by their own sections below
         cpus = rep.get("cpus", "?")
         flag = ("" if isinstance(cpus, int) and cpus >= 2 else
@@ -482,6 +482,47 @@ def deltas(quick: bool = False) -> None:
     _serve_section(reports.get("serve"))
     _pr8_section(reports.get("PR8"))
     _pr9_section(reports.get("PR9"))
+    _pr10_section(reports.get("PR10"))
+
+
+def _pr10_section(rep) -> None:
+    """Render BENCH_PR10.json (benchmarks/test_resume_overhead.py): the
+    durable-job layer's costs — journaling overhead of durable=True,
+    how much of a killed job resume saves, and the governed spill +
+    streaming merge penalty."""
+    if not rep:
+        return
+    results = rep.get("results")
+    if not isinstance(results, dict) or not results:
+        return
+    header("Durable jobs & memory governor (BENCH_PR10.json)")
+    print(f"shards={rep.get('shards', '?')}, cpus={rep.get('cpus', '?')}, "
+          f"generated={rep.get('generated', '?')}")
+    def _ratio(value):
+        return f"{value:.2f}" if isinstance(value, (int, float)) else "?"
+
+    jo = results.get("journal_overhead")
+    if isinstance(jo, dict) and isinstance(jo.get("seconds"), dict):
+        s = jo["seconds"]
+        print(f"journal:  plain {s.get('plain', float('nan')):.6f}s -> "
+              f"durable {s.get('durable', float('nan')):.6f}s  "
+              f"({_ratio(jo.get('slowdown'))}x; checksummed atomic shard "
+              "writes)")
+    res = results.get("resume")
+    if isinstance(res, dict) and isinstance(res.get("seconds"), dict):
+        s = res["seconds"]
+        print(f"resume:   skipped {res.get('skipped_on_resume', '?')}/"
+              f"{res.get('shards', '?')} shards; "
+              f"uninterrupted {s.get('uninterrupted', float('nan')):.6f}s "
+              f"-> resume {s.get('resume', float('nan')):.6f}s  "
+              f"(ratio {_ratio(res.get('resume_ratio'))})")
+    sp = results.get("spill_merge")
+    if isinstance(sp, dict) and isinstance(sp.get("seconds"), dict):
+        s = sp["seconds"]
+        print(f"spill:    eager {s.get('eager', float('nan')):.6f}s -> "
+              f"spilling {s.get('spilling', float('nan')):.6f}s  "
+              f"({_ratio(sp.get('slowdown'))}x with {sp.get('spills', '?')} "
+              "spilled partial(s), streaming ⊕-merge)")
 
 
 def _pr9_section(rep) -> None:

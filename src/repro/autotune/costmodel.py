@@ -313,6 +313,38 @@ def output_order_ok(
     return not any(revisited[:-1])
 
 
+def footprint_bytes(
+    order: Sequence[str],
+    operands: Sequence[OperandStats],
+    output_attrs: Sequence[str],
+    output_formats: Sequence[str],
+    dims: Mapping[str, int],
+    *,
+    itemsize: int = 8,
+    search: str = "linear",
+) -> float:
+    """Predicted resident bytes of one materialized result.
+
+    The memory governor and the serve layer's memory-aware admission
+    size a query by its *output*, the quantity that actually
+    accumulates across shard partials: a dense output costs its full
+    cell count, a sparse output ``out_nnz`` values plus coordinate
+    bookkeeping (one int64 crd plus amortized pos per entry).  Operand
+    footprints are deliberately excluded — operands are already
+    resident in the caller, admission cannot un-spend them.
+    """
+    if not output_attrs:
+        return float(itemsize)
+    if all(f == "dense" for f in output_formats):
+        size = 1.0
+        for a in output_attrs:
+            size *= float(dims.get(a, 1) or 1)
+        return size * itemsize
+    est = estimate(order, operands, output_attrs, dims, search=search)
+    # value + crd (8 bytes) + amortized pos (8 bytes) per stored entry
+    return est.out_nnz * (itemsize + 16.0)
+
+
 def output_units(
     formats: Sequence[str],
     output_attrs: Sequence[str],
@@ -339,6 +371,7 @@ __all__ = [
     "CostEstimate",
     "estimate",
     "expected_distinct",
+    "footprint_bytes",
     "permuted_fanouts",
     "supported_output_stacks",
     "output_order_ok",

@@ -600,6 +600,9 @@ class Kernel:
         supervised: Optional[bool] = None,
         stats_out: Optional[List] = None,
         deadline: Optional[float] = None,
+        durable: Optional[bool] = None,
+        resume: Optional[str] = None,
+        job_out: Optional[Dict[str, object]] = None,
     ) -> Union[Tensor, float, int, bool]:
         """Partition the operands, execute per shard, ⊕-merge.
 
@@ -611,6 +614,13 @@ class Kernel:
         receives this call's own :class:`~repro.runtime.api.ShardStat`
         records — the race-free alternative to ``last_shard_stats``
         when several threads share one kernel.
+
+        ``durable=True`` (or ``REPRO_DURABLE=1``) checkpoints each
+        completed shard to an on-disk job journal so an identical
+        re-invocation after a crash resumes instead of restarting;
+        ``resume`` pins the expected job id.  ``REPRO_MEM_BUDGET_MB``
+        bounds resident partials by spilling to the same journal (see
+        :mod:`repro.runtime.jobs` / :mod:`repro.runtime.governor`).
         """
         from repro.runtime.api import run_sharded as _run_sharded
 
@@ -618,7 +628,8 @@ class Kernel:
             self, tensors, capacity=capacity, auto_grow=auto_grow,
             max_capacity=max_capacity, executor=executor, workers=workers,
             shards=shards, split_attr=split_attr, supervised=supervised,
-            stats_out=stats_out, deadline=deadline,
+            stats_out=stats_out, deadline=deadline, durable=durable,
+            resume=resume, job_out=job_out,
         )
 
     def run_batch(

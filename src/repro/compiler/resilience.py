@@ -105,11 +105,18 @@ ENV_STRICT_ENV = "REPRO_STRICT_ENV"
 ENV_TUNE = "REPRO_TUNE"
 ENV_TUNE_CACHE_DIR = "REPRO_TUNE_CACHE_DIR"
 ENV_TUNE_CALIBRATE = "REPRO_TUNE_CALIBRATE"
+ENV_DURABLE = "REPRO_DURABLE"
+ENV_JOB_DIR = "REPRO_JOB_DIR"
+ENV_MEM_BUDGET_MB = "REPRO_MEM_BUDGET_MB"
+ENV_FAULT = "REPRO_FAULT"
+ENV_BREAKER_TTL = "REPRO_BREAKER_TTL"
 
 DEFAULT_GCC_TIMEOUT = 120.0
 DEFAULT_KERNEL_DEADLINE = 60.0
 DEFAULT_BREAKER_THRESHOLD = 3
 DEFAULT_BREAKER_BACKOFF = 30.0
+#: closed, untouched breaker records older than this are swept (seconds)
+DEFAULT_BREAKER_TTL = 7 * 24 * 3600.0
 DEFAULT_POOL_IDLE_TTL = 300.0
 #: operand/result payloads below this many bytes travel inline over the
 #: pipe; at or above it they go through a shared-memory segment
@@ -440,6 +447,130 @@ def shm_threshold() -> int:
     return DEFAULT_SHM_THRESHOLD if value is None else value
 
 
+def durable_enabled() -> bool:
+    """Whether sharded runs journal completed shard partials to disk by
+    default (``REPRO_DURABLE``, default off).  The explicit
+    ``run_sharded(durable=...)`` argument overrides the environment."""
+    return env_flag(ENV_DURABLE, False)
+
+
+def job_dir_env() -> Optional[str]:
+    """The directory job journals live under (``REPRO_JOB_DIR``; default
+    ``<kernel cache dir>/jobs``)."""
+    raw = os.environ.get(ENV_JOB_DIR)
+    if raw is None or not raw.strip():
+        return None
+    return raw.strip()
+
+
+def mem_budget_mb() -> Optional[float]:
+    """Resident-partial memory budget for sharded runs, in MiB
+    (``REPRO_MEM_BUDGET_MB``; default None = unbounded).  When set, the
+    memory governor spills accumulated shard partials to the job
+    journal and merges with a streaming ⊕-fold instead of holding every
+    partial resident."""
+    value = env_float(ENV_MEM_BUDGET_MB, None, minimum=0.0)
+    if value is not None and value <= 0:
+        return None
+    return value
+
+
+def breaker_ttl() -> Optional[float]:
+    """Age past which a *closed*, untouched on-disk breaker record is
+    swept on breaker load, in seconds (``REPRO_BREAKER_TTL``, default
+    7 days; ``0``/falsey disables the sweep)."""
+    raw = os.environ.get(ENV_BREAKER_TTL)
+    if raw is None or not raw.strip():
+        return DEFAULT_BREAKER_TTL
+    if raw.strip().lower() in _FALSEY:
+        return None
+    value = env_float(ENV_BREAKER_TTL, DEFAULT_BREAKER_TTL, minimum=0.0)
+    return value if value else None
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+_fault_lock = threading.Lock()
+_fault_hits: Dict[str, int] = {}
+_fault_fired: Dict[str, bool] = {}
+
+
+def reset_fault_counters() -> None:
+    """Forget which fault sites have been hit/fired (tests)."""
+    with _fault_lock:
+        _fault_hits.clear()
+        _fault_fired.clear()
+
+
+def _parse_fault_spec(raw: str):
+    """``<site>[:<mode>[:<n>]]`` → ``(site, mode, n)`` or ``None``."""
+    parts = [p.strip() for p in raw.split(":")]
+    site = parts[0]
+    mode = parts[1].lower() if len(parts) > 1 and parts[1] else "raise"
+    if not site:
+        return None
+    if mode not in ("raise", "sigkill"):
+        logger.warning("ignoring invalid %s=%r (unknown mode %r; "
+                       "expected raise/sigkill)", ENV_FAULT, raw, mode)
+        return None
+    n = 1
+    if len(parts) > 2 and parts[2]:
+        try:
+            n = int(parts[2])
+        except ValueError:
+            logger.warning("ignoring invalid %s=%r (hit count %r not an "
+                           "integer)", ENV_FAULT, raw, parts[2])
+            return None
+        if n < 1:
+            logger.warning("ignoring invalid %s=%r (hit count must be >= 1)",
+                           ENV_FAULT, raw)
+            return None
+    return site, mode, n
+
+
+def fault_point(site: str) -> None:
+    """A named fault-injection site for chaos tests.
+
+    ``REPRO_FAULT=<site>[:<mode>[:<n>]]`` arms exactly one site per
+    process: on the *n*-th hit (default: the first) of the named site
+    the hook fires once — ``raise`` mode (the default) raises
+    :class:`~repro.errors.InjectedFault`, ``sigkill`` mode delivers
+    ``SIGKILL`` to the current process, simulating the OOM killer.
+    Subsequent hits pass through, so an in-process re-run after a
+    ``raise``-mode failure completes normally.  Unset, or armed for a
+    different site, the call is a no-op (one dict lookup).
+
+    Production code calls this at the handful of places chaos tests
+    need to kill: after a shard partial is journaled (``shard``),
+    before the merge (``merge``), and at the top of the supervised
+    child (``supervised_child``).
+    """
+    raw = os.environ.get(ENV_FAULT, "").strip()
+    if not raw:
+        return
+    spec = _parse_fault_spec(raw)
+    if spec is None or spec[0] != site:
+        return
+    _, mode, n = spec
+    with _fault_lock:
+        if _fault_fired.get(site):
+            return
+        _fault_hits[site] = _fault_hits.get(site, 0) + 1
+        if _fault_hits[site] < n:
+            return
+        _fault_fired[site] = True
+    if mode == "sigkill":
+        import signal as _signal
+
+        logger.warning("fault injection: SIGKILL at site %r", site)
+        os.kill(os.getpid(), _signal.SIGKILL)
+        return  # pragma: no cover - unreachable
+    from repro.errors import InjectedFault
+
+    raise InjectedFault(site)
+
+
 def signal_name(signum: int) -> str:
     """Symbolic name of a signal number (``SIG<n>`` when unknown)."""
     from repro.errors import _signal_name
@@ -692,6 +823,11 @@ __all__ = [
     "ENV_TUNE",
     "ENV_TUNE_CACHE_DIR",
     "ENV_TUNE_CALIBRATE",
+    "ENV_DURABLE",
+    "ENV_JOB_DIR",
+    "ENV_MEM_BUDGET_MB",
+    "ENV_FAULT",
+    "ENV_BREAKER_TTL",
     "env_int",
     "env_float",
     "env_flag",
@@ -702,6 +838,7 @@ __all__ = [
     "DEFAULT_KERNEL_DEADLINE",
     "DEFAULT_BREAKER_THRESHOLD",
     "DEFAULT_BREAKER_BACKOFF",
+    "DEFAULT_BREAKER_TTL",
     "DEFAULT_POOL_IDLE_TTL",
     "DEFAULT_SHM_THRESHOLD",
     "parallel_backend",
@@ -718,6 +855,12 @@ __all__ = [
     "pool_warm_enabled",
     "pool_idle_ttl",
     "shm_threshold",
+    "durable_enabled",
+    "job_dir_env",
+    "mem_budget_mb",
+    "breaker_ttl",
+    "fault_point",
+    "reset_fault_counters",
     "signal_name",
     "fallback_enabled",
     "tune_mode",

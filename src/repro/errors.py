@@ -270,6 +270,22 @@ class LockTimeoutError(Retryable, ReproError):
         self.timeout = timeout
 
 
+class InjectedFault(ReproError):
+    """A deliberate failure fired by an armed ``REPRO_FAULT`` site.
+
+    Raised by :func:`repro.compiler.resilience.fault_point` in ``raise``
+    mode so chaos tests can fail a specific step (a shard completion,
+    the pre-merge instant) deterministically.  *Not* retryable: the
+    point of the injection is to observe the failure path, and the
+    sharded runtime treats non-retryable :class:`ReproError` as fatal —
+    which is exactly what leaves the job journal behind for a resume.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at site {site!r}")
+        self.site = site
+
+
 class ShapeError(ReproError, TypeError):
     """Raised when an expression or operation is used at the wrong shape."""
 
@@ -361,6 +377,7 @@ __all__ = [
     "BackendUnavailableError",
     "CacheCorruptionError",
     "CapacityError",
+    "InjectedFault",
     "ShapeError",
     "StreamPropertyError",
     "IRVerifyError",

@@ -31,7 +31,14 @@ package exploits that:
   workers (``REPRO_POOL``);
 - :mod:`repro.runtime.shm` is the zero-copy data plane under it:
   operands and results cross the process boundary as shared-memory
-  descriptors, not pickles (``REPRO_SHM_THRESHOLD``).
+  descriptors, not pickles (``REPRO_SHM_THRESHOLD``);
+- :mod:`repro.runtime.jobs` checkpoints completed shard partials to an
+  atomic, checksummed on-disk journal keyed by a deterministic job
+  signature (``REPRO_DURABLE``, ``REPRO_JOB_DIR``), so a run killed
+  mid-job resumes instead of restarting;
+- :mod:`repro.runtime.governor` bounds resident partial memory
+  (``REPRO_MEM_BUDGET_MB``) by spilling to the journal and merging
+  with a streaming incremental ⊕-fold — larger-than-RAM contractions.
 """
 
 from repro.runtime.api import ShardStat, run_batch, run_sharded
@@ -53,6 +60,14 @@ from repro.runtime.executor import (
     register_runtime_shutdown,
     shutdown_shared_runtime,
 )
+from repro.runtime.governor import PartialAccumulator, partial_nbytes
+from repro.runtime.jobs import (
+    JobJournal,
+    fingerprint_tensor,
+    gc_jobs,
+    job_root,
+    job_signature,
+)
 from repro.runtime.merge import merge_partials
 from repro.runtime.planner import ShardPlan, plan_shards, slice_operands
 from repro.runtime.pool import (
@@ -69,6 +84,8 @@ from repro.runtime.supervisor import can_supervise, run_supervised
 __all__ = [
     "CircuitBreaker",
     "Executor",
+    "JobJournal",
+    "PartialAccumulator",
     "PoolExecutor",
     "PoolStats",
     "PoolUnavailableError",
@@ -81,10 +98,15 @@ __all__ = [
     "can_supervise",
     "circuit_breaker",
     "discard_shared_executor",
+    "fingerprint_tensor",
+    "gc_jobs",
     "get_executor",
     "get_shared_executor",
     "get_shared_pool",
+    "job_root",
+    "job_signature",
     "merge_partials",
+    "partial_nbytes",
     "plan_shards",
     "pool_key",
     "register_runtime_shutdown",

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import BrokenExecutor, Future
-from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.compiler import resilience
 from repro.compiler.resilience import logger
@@ -34,7 +34,8 @@ from repro.errors import (
 )
 from repro.runtime import worker as worker_mod
 from repro.runtime.executor import discard_shared_executor, get_shared_executor
-from repro.runtime.merge import merge_partials
+from repro.runtime.governor import PartialAccumulator
+from repro.runtime.jobs import JobJournal, job_signature
 from repro.runtime.planner import plan_shards, slice_operands
 
 
@@ -52,6 +53,10 @@ class ShardStat:
     #: this shard's supervised run crashed/timed out and the result was
     #: served by the pure-Python fallback instead
     failover: bool = False
+    #: the partial came from a prior run's job journal; not re-executed
+    skipped: bool = False
+    #: the partial was evicted to the journal by the memory governor
+    spilled: bool = False
 
 
 def _operand_bytes(tensors: Mapping[str, Tensor]) -> int:
@@ -178,6 +183,9 @@ def run_sharded(
     supervised: Optional[bool] = None,
     stats_out: Optional[List[ShardStat]] = None,
     deadline: Optional[float] = None,
+    durable: Optional[bool] = None,
+    resume: Optional[str] = None,
+    job_out: Optional[Dict[str, object]] = None,
 ):
     """Partition one kernel run into shards, execute, and ⊕-merge.
 
@@ -193,6 +201,20 @@ def run_sharded(
     defeats the supervision — but failed over to the pure-Python
     backend for that shard alone, marked ``failover=True`` /
     ``worker="fallback"`` in the stats.
+
+    ``durable=True`` (or ``REPRO_DURABLE=1``) journals every completed
+    shard partial to an on-disk job keyed by the run's deterministic
+    signature; a run killed mid-job resumes on the next identical
+    invocation by loading journaled shards (``skipped=True`` in the
+    stats) instead of re-executing them.  ``resume`` optionally pins
+    the expected job id — a mismatch against the computed signature
+    raises ``ValueError`` rather than silently starting a fresh job.
+    ``REPRO_MEM_BUDGET_MB`` arms the memory governor: accumulated
+    partials over the budget spill to the same journal and the merge
+    streams them back one at a time (``spilled=True`` in the stats).
+    With neither knob set, this path is bit-for-bit the historical
+    hold-everything-in-RAM behaviour.  ``job_out``, when given, is
+    filled with ``job_id`` / ``resumed_shards`` / ``spills``.
     """
     n_workers = resilience.worker_count(workers)
     n_shards = int(shards) if shards is not None else n_workers
@@ -208,12 +230,57 @@ def run_sharded(
             supervised=supervised, deadline=deadline,
         )
 
+    if durable is None:
+        durable = resume is not None or resilience.durable_enabled()
+    budget_mb = resilience.mem_budget_mb()
+    journal: Optional[JobJournal] = None
+    if durable or budget_mb is not None:
+        journal = JobJournal(job_signature(kernel, plan, tensors))
+        if resume is not None and resume != journal.job_id:
+            raise ValueError(
+                f"resume job id {resume!r} does not match this run's "
+                f"signature {journal.job_id!r}: the kernel, shard plan, or "
+                "operands differ from the journaled job"
+            )
+        journal.ensure(plan)
+        if job_out is not None:
+            job_out["job_id"] = journal.job_id
+            job_out["job_dir"] = str(journal.dir)
+    acc = PartialAccumulator(
+        kernel, plan, journal,
+        budget_bytes=budget_mb * 1024 * 1024 if budget_mb is not None else None,
+    )
+
+    # adopt journaled shards from a prior (killed) run of the same job:
+    # they are loaded, checksum-verified, and never re-executed
+    skipped: Dict[int, ShardStat] = {}
+    if durable and journal is not None and journal.writable:
+        for i in sorted(journal.completed()):
+            if i >= plan.shards:
+                continue
+            prior = journal.load_shard(i, kernel.ops.semiring)
+            if prior is None:
+                continue  # corrupt: quarantined, shard re-executes
+            lo, hi = plan.ranges[i]
+            acc.add(i, prior, journaled=True)
+            skipped[i] = ShardStat(
+                index=i, lo=lo, hi=hi, seconds=0.0, bytes_in=0,
+                worker="journal", skipped=True,
+            )
+    if skipped:
+        logger.info(
+            "kernel %r: resuming %s — %d/%d shard(s) adopted from the "
+            "journal", kernel.name, journal.job_id, len(skipped), plan.shards,
+        )
+
     executor = _resolve_executor(kernel, executor)
     out = kernel.output
+    pending: List[int] = [i for i in range(plan.shards) if i not in skipped]
     shard_inputs: List[Mapping[str, Tensor]] = []
     shard_kernels: List[object] = []
     shard_dims: List[Optional[Sequence[int]]] = []
-    for lo, hi in plan.ranges:
+    for i in pending:
+        lo, hi = plan.ranges[i]
         shard_inputs.append(slice_operands(kernel, tensors, plan, lo, hi))
         if plan.kind == "free":
             dims = (hi - lo,) + tuple(out.dims[1:])
@@ -223,8 +290,7 @@ def run_sharded(
             shard_dims.append(None)
             shard_kernels.append(kernel)
 
-    partials: List[object] = []
-    stats: List[ShardStat] = []
+    stats: Dict[int, ShardStat] = dict(skipped)
     ex = get_shared_executor(executor, n_workers)
     if ex.name == "pool":
         from repro.runtime import pool as pool_mod, shm
@@ -247,7 +313,8 @@ def run_sharded(
                     ex, _local_task, sk, st, capacity, auto_grow, max_capacity,
                     supervised, deadline,
                 ))
-    for i, (fut, (lo, hi)) in enumerate(zip(futures, plan.ranges)):
+    for k, (fut, i) in enumerate(zip(futures, pending)):
+        lo, hi = plan.ranges[i]
         retried = False
         failover = False
         try:
@@ -260,7 +327,7 @@ def run_sharded(
             )
             retried = failover = True
             result, seconds, who = _failover_task(
-                shard_kernels[i], shard_inputs[i],
+                shard_kernels[k], shard_inputs[k],
                 capacity, auto_grow, max_capacity, exc,
             )
         except Exception as exc:
@@ -279,25 +346,44 @@ def run_sharded(
             _maybe_discard(ex, exc)
             retried = True
             result, seconds, who = _local_task(
-                shard_kernels[i], shard_inputs[i],
+                shard_kernels[k], shard_inputs[k],
                 capacity, auto_grow, max_capacity, supervised, deadline,
             )
-        partials.append(result)
-        stats.append(ShardStat(
+        journaled = False
+        if durable and journal is not None:
+            journaled = journal.write_shard(i, result)
+            journal.touch()
+        # chaos hook: fires *after* the partial is journaled, so a
+        # SIGKILL here models dying between checkpoint and next shard
+        resilience.fault_point("shard")
+        acc.add(i, result, journaled=journaled)
+        stats[i] = ShardStat(
             index=i, lo=lo, hi=hi, seconds=seconds,
-            bytes_in=_operand_bytes(shard_inputs[i]),
+            bytes_in=_operand_bytes(shard_inputs[k]),
             worker=who, retried=retried, failover=failover,
-        ))
-    kernel.last_shard_stats = stats
+        )
+    for i in acc.spilled_indices():
+        stats[i] = replace(stats[i], spilled=True)
+    ordered = [stats[i] for i in sorted(stats)]
+    kernel.last_shard_stats = ordered
     if stats_out is not None:
-        stats_out.extend(stats)
+        stats_out.extend(ordered)
+    if job_out is not None and journal is not None:
+        job_out["resumed_shards"] = len(skipped)
+        job_out["spills"] = acc.spills
     logger.debug(
         "kernel %r: %d shard(s) on %s over split %r (%s); %.1f ms total "
-        "shard time",
+        "shard time; %d resumed, %d spilled",
         kernel.name, plan.shards, executor, plan.split_attr, plan.kind,
-        sum(s.seconds for s in stats) * 1e3,
+        sum(s.seconds for s in ordered) * 1e3, len(skipped), acc.spills,
     )
-    return merge_partials(kernel, plan, partials)
+    # chaos hook: all shards journaled, merge not yet run — a kill here
+    # must resume into a pure-merge job
+    resilience.fault_point("merge")
+    merged = acc.merge()
+    if journal is not None:
+        journal.discard()
+    return merged
 
 
 def run_batch(

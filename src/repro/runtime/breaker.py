@@ -73,6 +73,10 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self._records: Dict[str, BreakerRecord] = {}
         self._persist = persist
+        #: directories already TTL-swept by this instance (once per dir
+        #: per process is plenty — the sweep is about unbounded growth
+        #: across service lifetimes, not real-time accuracy)
+        self._swept: set = set()
         #: keys whose half-open probe is currently in flight — exactly
         #: one caller may hold the claim; everyone else sees ``open``
         #: until the probe reports back (``record_success`` /
@@ -248,12 +252,58 @@ class CircuitBreaker:
         except Exception:  # pragma: no cover - cache layer unavailable
             return None
 
+    def _sweep(self, directory: Path) -> None:
+        """GC stale persisted breaker records, once per directory.
+
+        ``kbrk_*.json`` files otherwise accumulate forever: every
+        kernel that ever tripped a failure leaves one behind, and cache
+        keys are content-addressed so old kernel versions never get
+        theirs overwritten.  A record both *closed* (``opened_at`` is
+        null — an open breaker is live state, never swept) and
+        untouched for ``REPRO_BREAKER_TTL`` seconds (default 7 days) is
+        deleted; an unreadable record past the TTL is junk and goes
+        too.  ``REPRO_BREAKER_TTL=0`` disables the sweep.
+        """
+        if directory in self._swept:
+            return
+        self._swept.add(directory)
+        ttl = resilience.breaker_ttl()
+        if ttl is None:
+            return
+        cutoff = _now() - ttl
+        try:
+            candidates = list(directory.glob("kbrk_*.json"))
+        except OSError:
+            return
+        swept = 0
+        for p in candidates:
+            try:
+                if p.stat().st_mtime >= cutoff:
+                    continue
+            except OSError:
+                continue
+            try:
+                if json.loads(p.read_text()).get("opened_at") is not None:
+                    continue  # open breaker: live state
+            except (OSError, ValueError, TypeError):
+                pass  # unreadable + stale: sweep it
+            try:
+                p.unlink()
+                swept += 1
+            except OSError:
+                continue
+        if swept:
+            logger.info("breaker GC swept %d stale record(s) under %s",
+                        swept, directory)
+
     def _load(self, key: str) -> BreakerRecord:
         rec = self._records.get(key)
         if rec is not None:
             return rec
         rec = BreakerRecord()
         path = self._path(key)
+        if path is not None:
+            self._sweep(path.parent)
         if path is not None:
             try:
                 data = json.loads(path.read_text())

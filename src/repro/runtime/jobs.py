@@ -1,0 +1,303 @@
+"""Durable job journal: crash-safe checkpoints for sharded execution.
+
+A *job* is one ``run_sharded`` invocation, identified by a
+deterministic signature over everything that decides its result: the
+kernel's content-addressed cache key, the shard plan (split attribute,
+kind, ranges), and a fingerprint of every operand tensor's raw storage
+arrays.  Re-running the same contraction on the same inputs therefore
+computes the same ``job_id`` — which is the whole resume story: a
+process killed mid-job leaves its journal behind, and the next run with
+the same signature loads the journaled shard partials instead of
+re-executing them.
+
+Each completed shard partial is published with the PR 2 crash-safe
+primitives: serialized, framed with a SHA-256 checksum header, written
+via :func:`~repro.compiler.resilience.atomic_write_bytes` under a
+:func:`~repro.compiler.resilience.file_lock` — so a SIGKILL at any
+instant leaves either a fully verifiable shard file or nothing, never a
+torn write.  A shard file whose checksum fails on load is quarantined
+(kept as ``.corrupt`` for post-mortem) and its shard simply re-executes.
+
+Journal writes are *best effort*: a full disk or read-only journal
+directory degrades durability (the run completes from RAM exactly as a
+non-durable run would), it never fails the computation.
+
+Values round-trip bit-identically: a :class:`~repro.data.tensor.Tensor`
+is journaled as its raw ``pos``/``crd``/``vals`` numpy arrays, and
+numpy arrays pickle exactly — so a resumed merge sees the *same bytes*
+an uninterrupted run would have merged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+
+import numpy as np
+
+from repro.compiler import resilience
+from repro.compiler.cache import default_cache_dir
+from repro.compiler.resilience import (
+    atomic_write_bytes,
+    atomic_write_text,
+    file_lock,
+    logger,
+    quarantine,
+    usable_cache_dir,
+)
+from repro.data.tensor import Tensor
+
+#: shard files use a fixed-width index so directory listings sort
+_SHARD_FMT = "shard_{:05d}.bin"
+#: journal directories untouched past this many seconds are GC'd
+DEFAULT_JOB_TTL = 7 * 24 * 3600.0
+
+
+def job_root() -> Path:
+    """The directory job journals live under (``REPRO_JOB_DIR``,
+    default ``<kernel cache dir>/jobs``), created on demand with the
+    same unusable-directory fallback as the kernel cache."""
+    env = resilience.job_dir_env()
+    preferred = Path(env) if env else default_cache_dir() / "jobs"
+    return Path(usable_cache_dir(preferred))
+
+
+def fingerprint_tensor(t: Tensor) -> str:
+    """Content digest of one operand: structure plus raw array bytes."""
+    h = hashlib.sha256()
+    h.update(repr((t.attrs, t.formats, t.dims)).encode())
+    h.update(np.ascontiguousarray(t.vals).tobytes())
+    for k in sorted(t.pos):
+        h.update(b"pos%d" % k)
+        h.update(np.ascontiguousarray(t.pos[k]).tobytes())
+    for k in sorted(t.crd):
+        h.update(b"crd%d" % k)
+        h.update(np.ascontiguousarray(t.crd[k]).tobytes())
+    return h.hexdigest()
+
+
+def job_signature(kernel, plan, tensors: Mapping[str, Tensor]) -> str:
+    """Deterministic identity of one sharded run.
+
+    Everything that decides the result participates: the kernel's
+    content-addressed cache key (its recipe digest; ``uncached:<name>``
+    when caching is off — resume across processes then relies on the
+    name being stable), the shard plan geometry, and each operand's
+    content fingerprint.  Two processes computing the same contraction
+    over the same inputs with the same plan agree on the signature —
+    which is what lets a restarted server adopt a dead worker's journal.
+    """
+    payload = {
+        "kernel": getattr(kernel, "cache_key", None) or f"uncached:{kernel.name}",
+        "split_attr": plan.split_attr,
+        "kind": plan.kind,
+        "dim": plan.dim,
+        "ranges": [[int(lo), int(hi)] for lo, hi in plan.ranges],
+        "operands": sorted(
+            (name, fingerprint_tensor(t)) for name, t in tensors.items()
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _encode_partial(result: Any) -> bytes:
+    """Serialize one shard partial (Tensor or semiring scalar)."""
+    if isinstance(result, Tensor):
+        payload = {
+            "kind": "tensor",
+            "attrs": result.attrs,
+            "formats": result.formats,
+            "dims": result.dims,
+            "pos": dict(result.pos),
+            "crd": dict(result.crd),
+            "vals": result.vals,
+        }
+    else:
+        payload = {"kind": "scalar", "value": result}
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_partial(blob: bytes, semiring) -> Any:
+    payload = pickle.loads(blob)
+    if payload["kind"] == "scalar":
+        return payload["value"]
+    return Tensor(
+        payload["attrs"], payload["formats"], payload["dims"],
+        payload["pos"], payload["crd"], payload["vals"], semiring,
+    )
+
+
+class JobJournal:
+    """The on-disk checkpoint directory of one sharded run.
+
+    Layout::
+
+        <job root>/job_<sig[:24]>/
+            manifest.json        # signature, plan geometry, timestamps
+            shard_00007.bin      # checksum header + pickled partial
+
+    Shard files are framed as one JSON header line
+    (``{"sha256": ..., "len": ...}``) followed by the payload bytes, so
+    a reader can verify integrity before unpickling anything.
+    """
+
+    def __init__(self, signature: str, root: Optional[Path] = None) -> None:
+        self.signature = signature
+        self.job_id = f"job_{signature[:24]}"
+        self.dir = (root if root is not None else job_root()) / self.job_id
+        self.writable = True
+
+    # ------------------------------------------------------------------
+    def _shard_path(self, index: int) -> Path:
+        return self.dir / _SHARD_FMT.format(index)
+
+    def ensure(self, plan=None) -> None:
+        """Create the journal directory and publish its manifest."""
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            manifest = self.dir / "manifest.json"
+            if not manifest.exists():
+                body = {
+                    "signature": self.signature,
+                    "created": time.time(),
+                    "shards": plan.shards if plan is not None else None,
+                    "split_attr": plan.split_attr if plan is not None else None,
+                    "kind": plan.kind if plan is not None else None,
+                }
+                atomic_write_text(manifest, json.dumps(body, indent=2) + "\n")
+        except OSError as exc:
+            logger.warning(
+                "job journal %s unusable (%s); running without durability",
+                self.dir, exc,
+            )
+            self.writable = False
+
+    def touch(self) -> None:
+        """Refresh the journal's mtime so the TTL GC sees it as live."""
+        try:
+            os.utime(self.dir)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def completed(self) -> Set[int]:
+        """Indices of shards with a journaled partial on disk."""
+        done: Set[int] = set()
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            return done
+        for name in names:
+            if name.startswith("shard_") and name.endswith(".bin"):
+                try:
+                    done.add(int(name[len("shard_"):-len(".bin")]))
+                except ValueError:
+                    continue
+        return done
+
+    def write_shard(self, index: int, result: Any) -> bool:
+        """Atomically publish one completed shard partial.
+
+        Best effort: an OSError (disk full, directory vanished) logs
+        and returns False — the run keeps its in-RAM partial and loses
+        only durability for this shard.
+        """
+        if not self.writable:
+            return False
+        path = self._shard_path(index)
+        try:
+            blob = _encode_partial(result)
+            header = json.dumps(
+                {"sha256": hashlib.sha256(blob).hexdigest(), "len": len(blob)}
+            ).encode() + b"\n"
+            with file_lock(path, timeout=10.0):
+                atomic_write_bytes(path, header + blob)
+            return True
+        except OSError as exc:
+            logger.warning(
+                "could not journal shard %d of %s (%s); continuing in RAM",
+                index, self.job_id, exc,
+            )
+            return False
+
+    def load_shard(self, index: int, semiring) -> Any:
+        """Load and verify one journaled partial, or None.
+
+        A missing file returns None (the shard just executes); a file
+        that fails its checksum or does not unpickle is quarantined to
+        ``.corrupt`` and also returns None — corruption costs a
+        re-execution, never a wrong answer.
+        """
+        path = self._shard_path(index)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            nl = raw.index(b"\n")
+            header = json.loads(raw[:nl])
+            blob = raw[nl + 1:]
+            if len(blob) != header["len"]:
+                raise ValueError("length mismatch")
+            if hashlib.sha256(blob).hexdigest() != header["sha256"]:
+                raise ValueError("checksum mismatch")
+            return _decode_partial(blob, semiring)
+        except Exception as exc:
+            logger.warning(
+                "journaled shard %d of %s is corrupt (%s); quarantining "
+                "and re-executing", index, self.job_id, exc,
+            )
+            quarantine(path)
+            return None
+
+    # ------------------------------------------------------------------
+    def discard(self) -> None:
+        """Remove the journal after a successful merge."""
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+def gc_jobs(ttl: float = DEFAULT_JOB_TTL, root: Optional[Path] = None) -> List[str]:
+    """Sweep journal directories untouched for more than ``ttl`` seconds.
+
+    Returns the swept job ids.  Called from the serve lifecycle on boot;
+    safe to call any time — a live job refreshes its directory mtime on
+    every shard write.
+    """
+    base = root if root is not None else job_root()
+    swept: List[str] = []
+    try:
+        entries: Iterable[os.DirEntry] = os.scandir(base)
+    except OSError:
+        return swept
+    cutoff = time.time() - ttl
+    for entry in entries:
+        if not entry.name.startswith("job_"):
+            continue
+        try:
+            if not entry.is_dir() or entry.stat().st_mtime >= cutoff:
+                continue
+        except OSError:
+            continue
+        shutil.rmtree(entry.path, ignore_errors=True)
+        swept.append(entry.name)
+    if swept:
+        logger.info("job GC swept %d stale journal(s): %s",
+                    len(swept), ", ".join(sorted(swept)))
+    return swept
+
+
+__all__ = [
+    "DEFAULT_JOB_TTL",
+    "JobJournal",
+    "fingerprint_tensor",
+    "gc_jobs",
+    "job_root",
+    "job_signature",
+]

@@ -118,6 +118,10 @@ def _child_entry(
     except Exception:  # pragma: no cover - faulthandler always importable
         pass
     _apply_rlimits(mem_mb, cpu_seconds)
+    # chaos hook: REPRO_FAULT=supervised_child:sigkill models a child
+    # OOM-killed before it produced anything — the env reaches a forked
+    # child for free, no crash kernel required
+    resilience.fault_point("supervised_child")
     try:
         result = kernel._run_single(
             tensors, capacity, auto_grow=auto_grow, max_capacity=max_capacity

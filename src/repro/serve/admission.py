@@ -11,7 +11,12 @@ Order of checks, each with an honest ``Retry-After``:
    only when the prediction rests on a *measured* calibration profile
    (unmeasured default constants are not evidence to shed load on)
    and only beyond a generous 3× margin;
-5. circuit breaker — a query whose kernel is quarantined is rejected
+5. memory governor — under ``REPRO_MEM_BUDGET_MB``, a query whose
+   cost-model result footprint exceeds the budget is rejected (503)
+   with a one-deadline Retry-After, or — under
+   ``REPRO_SERVE_DEGRADE=spill`` — admitted with durable execution
+   forced, so its partials spill to the job journal instead of RAM;
+6. circuit breaker — a query whose kernel is quarantined is rejected
    (503) with the breaker's own re-probe ETA, *before compiling
    anything*: the prepared query carries its kernel cache key, and the
    breaker is keyed by exactly that key.
@@ -98,9 +103,12 @@ class AdmissionController:
         rejection = self._reject_hopeless(prepared)
         if rejection is not None:
             return rejection
+        rejection = self._govern_memory(prepared)
+        if rejection is not None:
+            return rejection
         if (
             prepared.kernel_key is not None
-            and cfg.degrade == "reject"
+            and cfg.degrade in ("reject", "spill")
         ):
             from repro.runtime.breaker import breaker
 
@@ -117,6 +125,37 @@ class AdmissionController:
     #: effective deadline — the model ranks plans well but its absolute
     #: seconds deserve a wide error bar
     PREDICTION_MARGIN = 3.0
+
+    def _govern_memory(
+        self, prepared: PreparedQuery
+    ) -> Optional[Rejection]:
+        """Memory-aware admission under ``REPRO_MEM_BUDGET_MB``.
+
+        A query whose cost-model footprint exceeds the budget is shed
+        with 503 (the honest Retry-After is one deadline: memory frees
+        as in-flight work completes) — unless the operator chose
+        ``REPRO_SERVE_DEGRADE=spill``, in which case the query is
+        admitted but *forced durable*: its partials spill to the job
+        journal and the merge streams, keeping residency bounded.  No
+        budget, or no footprint estimate, admits normally.
+        """
+        from repro.compiler import resilience
+
+        budget_mb = resilience.mem_budget_mb()
+        if budget_mb is None or prepared.footprint_bytes is None:
+            return None
+        if prepared.footprint_bytes <= budget_mb * 1024 * 1024:
+            return None
+        if self.config.degrade == "spill":
+            prepared.durable = True
+            return None
+        return Rejection(
+            503,
+            f"predicted result footprint "
+            f"{prepared.footprint_bytes / 1048576.0:.1f}MiB exceeds the "
+            f"{budget_mb:.0f}MiB memory budget",
+            max(1.0, self.config.deadline),
+        )
 
     def _reject_hopeless(
         self, prepared: PreparedQuery

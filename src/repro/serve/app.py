@@ -103,6 +103,17 @@ class ContractionServer:
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
+        try:
+            # reclaim journals of jobs abandoned past their TTL; a crash
+            # here must never stop the server from booting
+            from repro.runtime.jobs import gc_jobs
+
+            swept = gc_jobs()
+            if swept:
+                logger.warning(
+                    "serve: swept %d stale job journal(s)", len(swept))
+        except Exception as exc:
+            logger.warning("serve: job-journal sweep failed (%s)", exc)
         self._server = await asyncio.start_server(
             self._client, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -236,11 +247,14 @@ class ContractionServer:
                 lambda: self._execute(prepared, budget),
             )
         except asyncio.CancelledError:
-            # drain-deadline cancellation: tell the client explicitly
+            # drain-deadline cancellation: tell the client explicitly.
+            # A durable query's journal survives the cancel, so the
+            # marker carries the job_id the client can resume under.
             self.lifecycle.bump("cancelled")
             await send_partial_marker_or_json(
                 writer, "cancelled during server drain",
                 self.config.write_timeout,
+                extra=self._job_fields(prepared),
             )
             return False
         except (KernelTimeoutError, asyncio.TimeoutError):
@@ -280,6 +294,7 @@ class ContractionServer:
         }
         if prepared.tune_meta is not None:
             meta["tune"] = prepared.tune_meta
+        meta.update(self._job_fields(prepared))
         if isinstance(doc, dict) and doc.get("explain"):
             meta["explain"] = prepared.explanation
         if len(result.get("entries", ())) > self.config.stream_threshold:
@@ -293,6 +308,17 @@ class ContractionServer:
             return False
         await send_json(writer, 200, {"result": result, "meta": meta})
         return True
+
+    @staticmethod
+    def _job_fields(prepared) -> Dict[str, Any]:
+        """Durable-job identity for response meta and drain markers."""
+        job = getattr(prepared, "job_meta", None) or {}
+        fields: Dict[str, Any] = {}
+        if job.get("job_id"):
+            fields["job_id"] = job["job_id"]
+            fields["resumed_shards"] = job.get("resumed_shards", 0)
+            fields["spills"] = job.get("spills", 0)
+        return fields
 
     async def _execute(self, prepared, budget) -> Dict[str, Any]:
         """Dispatch one admitted, coalesce-leading query."""
@@ -338,17 +364,19 @@ class ContractionServer:
         }
 
 
-async def send_partial_marker_or_json(writer, reason: str,
-                                      write_timeout: float) -> None:
+async def send_partial_marker_or_json(
+    writer, reason: str, write_timeout: float,
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
     """Drain-cancellation notice: a JSON 503 with a partial marker (the
     response had not started streaming, so a full status line is still
-    possible)."""
+    possible).  ``extra`` fields (e.g. a durable ``job_id`` the client
+    can resume under) are merged into the body."""
+    body: Dict[str, Any] = {"error": reason, "partial": True}
+    if extra:
+        body.update(extra)
     try:
-        await send_json(
-            writer, 503,
-            {"error": reason, "partial": True},
-            retry_after=2.0, close=True,
-        )
+        await send_json(writer, 503, body, retry_after=2.0, close=True)
     except (ConnectionError, OSError, asyncio.TimeoutError):
         await send_partial_marker(writer, reason, write_timeout)
 

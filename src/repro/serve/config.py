@@ -35,10 +35,15 @@ ENV_WORKERS = "REPRO_SERVE_WORKERS"
 ENV_MAX_BODY = "REPRO_SERVE_MAX_BODY"
 ENV_STREAM_THRESHOLD = "REPRO_SERVE_STREAM_THRESHOLD"
 
-#: open-breaker admission policies: ``reject`` sheds the request with
-#: 503 + Retry-After (the honest answer under quarantine); ``fallback``
-#: admits it and lets ``Kernel.run`` serve the pure-Python twin
-DEGRADE_MODES = ("reject", "fallback")
+#: degraded-admission policies: ``reject`` sheds the request with
+#: 503 + Retry-After (the honest answer under quarantine or memory
+#: pressure); ``fallback`` admits it and lets ``Kernel.run`` serve the
+#: pure-Python twin; ``spill`` admits footprint-over-budget queries but
+#: forces durable execution, so partials spill to the job journal and
+#: the merge streams — slower, disk-backed answers instead of 503s
+#: (open-breaker queries are still rejected under ``spill``: spilling
+#: does not make a crashing kernel safe)
+DEGRADE_MODES = ("reject", "fallback", "spill")
 
 
 @dataclass

@@ -167,6 +167,17 @@ class PreparedQuery:
     #: query predicted to blow its deadline — only when the prediction
     #: rests on a *measured* calibration profile)
     predicted_s: Optional[float] = None
+    #: client/admission request for durable (journaled, resumable)
+    #: execution; None defers to ``REPRO_DURABLE``.  Memory-aware
+    #: admission under ``REPRO_SERVE_DEGRADE=spill`` forces this True
+    #: for footprint-over-budget queries instead of rejecting them.
+    durable: Optional[bool] = None
+    #: cost-model estimate of the materialized result's resident bytes
+    #: (None when the model could not size the query)
+    footprint_bytes: Optional[float] = None
+    #: filled by a durable execution: job_id, resumed_shards, spills —
+    #: surfaced in the response ``meta`` and in drain-cancel markers
+    job_meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def batch_key(self) -> Optional[str]:
@@ -200,11 +211,31 @@ class PreparedQuery:
             )
         import time as _time
 
+        from repro.compiler import resilience
+
         t0 = _time.perf_counter()
-        result = kernel.run(
-            self.plan.inputs, capacity=capacity, auto_grow=True,
-            supervised=True, deadline=remaining, **run_kwargs,
+        durable = (
+            self.durable if self.durable is not None
+            else resilience.durable_enabled()
         )
+        if durable:
+            # durable execution goes through the sharded runtime
+            # directly: the journal is keyed by the run's deterministic
+            # signature, so a client re-POSTing the identical query
+            # after a crash resumes the dead worker's job
+            result = kernel.run_sharded(
+                self.plan.inputs, capacity, auto_grow=True,
+                executor=(d.executor if d is not None and d.executor
+                          else "serial"),
+                workers=d.shards if d is not None and d.executor else None,
+                shards=d.shards if d is not None and d.executor else None,
+                deadline=remaining, durable=True, job_out=self.job_meta,
+            )
+        else:
+            result = kernel.run(
+                self.plan.inputs, capacity=capacity, auto_grow=True,
+                supervised=True, deadline=remaining, **run_kwargs,
+            )
         if self.tune_sig is not None:
             try:
                 from repro.autotune import decision_cache
@@ -233,6 +264,32 @@ class PreparedQuery:
             "rows": [[_json_value(v) for v in r] for r in rows],
             "count": len(rows),
         }
+
+
+def _estimate_footprint(plan: EinsumPlan) -> Optional[float]:
+    """Cost-model estimate of the result's resident bytes.
+
+    Advisory only — the memory-aware admission gate treats None as
+    "cannot size, admit normally"; a failing estimator must never 500
+    a query."""
+    try:
+        from repro.autotune.costmodel import (
+            OperandStats, footprint_bytes,
+        )
+
+        stats = [
+            OperandStats.from_tensor(name, t)
+            for name, t in plan.inputs.items()
+        ]
+        out = plan.output
+        if out is None:
+            return 8.0
+        return footprint_bytes(
+            plan.attr_order, stats, out.attrs, out.formats, plan.attr_dims,
+            search=plan.search,
+        )
+    except Exception:
+        return None
 
 
 def _tune_plan(spec, tensors, semiring):
@@ -322,6 +379,9 @@ def prepare_request(body: Any, tune: Optional[str] = None) -> PreparedQuery:
     capacity = body.get("capacity")
     if capacity is not None and not isinstance(capacity, int):
         raise QueryError("capacity must be an integer")
+    durable = body.get("durable")
+    if durable is not None and not isinstance(durable, bool):
+        raise QueryError("durable must be a boolean")
 
     tuned = None
     knobs_open = (
@@ -356,6 +416,8 @@ def prepare_request(body: Any, tune: Optional[str] = None) -> PreparedQuery:
         tune_meta=tune_meta,
         explanation=explanation,
         predicted_s=predicted_s,
+        durable=durable,
+        footprint_bytes=_estimate_footprint(plan),
     )
 
 

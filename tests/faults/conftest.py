@@ -51,8 +51,10 @@ def isolated_build_state(tmp_path, monkeypatch):
     kc = KernelCache(cache_dir=cache_dir)
     monkeypatch.setattr(kernel_mod, "kernel_cache", kc)
     resilience.reset_probe_cache()
+    resilience.reset_fault_counters()
     yield
     resilience.reset_probe_cache()
+    resilience.reset_fault_counters()
     # pool workers pin the cache dir at spawn — a pool surviving into
     # the next test would read this test's (deleted) tmp directory
     from repro.runtime import pool as pool_mod

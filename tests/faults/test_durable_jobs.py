@@ -1,0 +1,121 @@
+"""Chaos: SIGKILL mid-job, then resume from the journal.
+
+The real thing, not a simulation — the worker subprocess arms
+``REPRO_FAULT=shard:sigkill:2`` and genuinely dies by SIGKILL right
+after journaling its second shard partial.  The relaunch must adopt
+exactly those journaled shards (provably skipped via the shard stats),
+produce a bit-identical result to an uninterrupted run, and discard
+the journal on success.  A second leg replays the same crash under a
+vanishingly small ``REPRO_MEM_BUDGET_MB``, so the resumed run also
+spills and merges with the streaming ⊕-fold.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+WORKER = Path(__file__).with_name("_durable_job_worker.py")
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: REPRO_FAULT spec: SIGKILL after the second shard is journaled
+KILL_SPEC = "shard:sigkill:2"
+
+
+def _env(tmp_path, **extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_KERNEL_CACHE_DIR"] = str(tmp_path / "kcache")
+    env["REPRO_JOB_DIR"] = str(tmp_path / "jobs")
+    for stale in ("REPRO_FAULT", "REPRO_MEM_BUDGET_MB", "REPRO_DURABLE"):
+        env.pop(stale, None)
+    env.update(extra)
+    return env
+
+
+def _run(env, split):
+    return subprocess.run(
+        [sys.executable, str(WORKER), split],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+
+
+def _parse(stdout: str) -> dict:
+    fields = {}
+    for line in stdout.splitlines():
+        key, _, value = line.partition(" ")
+        fields[key] = value
+    return fields
+
+
+def _journals(tmp_path) -> list:
+    root = tmp_path / "jobs"
+    return sorted(root.glob("job_*")) if root.exists() else []
+
+
+@pytest.mark.parametrize("split", ["free", "contracted"])
+def test_sigkill_mid_job_resumes_bit_identically(tmp_path, split):
+    # leg 1: the worker dies by SIGKILL after journaling two shards
+    killed = _run(_env(tmp_path, REPRO_FAULT=KILL_SPEC), split)
+    assert killed.returncode == -signal.SIGKILL, killed.stderr
+    [journal] = _journals(tmp_path)
+    shard_files = sorted(p.name for p in journal.glob("shard_*.bin"))
+    assert len(shard_files) == 2, shard_files
+
+    # leg 2: the relaunch adopts the journaled shards and completes
+    resumed = _run(_env(tmp_path), split)
+    assert resumed.returncode == 0, resumed.stderr
+    fields = _parse(resumed.stdout)
+    assert fields["SKIPPED"] == "0,1", fields
+    assert not _journals(tmp_path), "journal must be discarded on success"
+
+    # oracle: an uninterrupted run in a fresh job dir — bit-identical
+    clean = _run(_env(tmp_path, REPRO_JOB_DIR=str(tmp_path / "jobs2")), split)
+    assert clean.returncode == 0, clean.stderr
+    oracle = _parse(clean.stdout)
+    assert oracle["SKIPPED"] == "-"
+    assert fields["CHECK"] == oracle["CHECK"]
+    assert fields["JOB"] == oracle["JOB"]  # same signature, same job id
+
+
+def test_sigkill_then_resume_under_tiny_budget(tmp_path):
+    """Crash + memory pressure at once: the resumed run spills its
+    partials and streams the merge, still bit-identical."""
+    budget = {"REPRO_MEM_BUDGET_MB": "0.000001"}
+    killed = _run(
+        _env(tmp_path, REPRO_FAULT=KILL_SPEC, **budget), "contracted")
+    assert killed.returncode == -signal.SIGKILL, killed.stderr
+    assert _journals(tmp_path)
+
+    resumed = _run(_env(tmp_path, **budget), "contracted")
+    assert resumed.returncode == 0, resumed.stderr
+    fields = _parse(resumed.stdout)
+    assert fields["SKIPPED"] != "-"
+    assert int(fields["SPILLS"]) >= 1
+    assert not _journals(tmp_path)
+
+    clean = _run(_env(tmp_path, REPRO_JOB_DIR=str(tmp_path / "jobs2")),
+                 "contracted")
+    assert fields["CHECK"] == _parse(clean.stdout)["CHECK"]
+
+
+def test_kill_before_merge_resumes_into_pure_merge(tmp_path):
+    """SIGKILL at the merge site: every shard is journaled; the resume
+    re-executes nothing and still completes."""
+    killed = _run(_env(tmp_path, REPRO_FAULT="merge:sigkill"), "free")
+    assert killed.returncode == -signal.SIGKILL, killed.stderr
+    [journal] = _journals(tmp_path)
+    assert len(list(journal.glob("shard_*.bin"))) == 4  # all of them
+
+    resumed = _run(_env(tmp_path), "free")
+    assert resumed.returncode == 0, resumed.stderr
+    fields = _parse(resumed.stdout)
+    assert fields["SKIPPED"] == "0,1,2,3"
+
+    clean = _run(_env(tmp_path, REPRO_JOB_DIR=str(tmp_path / "jobs2")), "free")
+    assert fields["CHECK"] == _parse(clean.stdout)["CHECK"]

@@ -118,6 +118,23 @@ def test_compiled_c_out_of_bounds_store_is_contained():
 
 
 def test_memory_cap_kill_is_decoded(monkeypatch):
+    """An OOM-killed child is decoded to a typed error naming SIGKILL.
+
+    Ported onto the consolidated ``REPRO_FAULT`` hook: the
+    ``supervised_child`` site delivers a genuine SIGKILL at the top of
+    the forked child (the env reaches the fork for free), modelling the
+    OOM killer without a sabotage kernel.  The real-rlimit variant
+    lives in :func:`test_rlimit_memory_cap_kill_is_decoded`."""
+    monkeypatch.setenv(resilience.ENV_FAULT, "supervised_child:sigkill")
+    resilience.reset_fault_counters()
+    kernel, tensors = _build()
+    with pytest.raises(KernelCrashError) as err:
+        kernel.run(tensors, parallel=False, supervised=True)
+    assert err.value.signal == signal.SIGKILL
+    assert err.value.signal_name == "SIGKILL"
+
+
+def test_rlimit_memory_cap_kill_is_decoded(monkeypatch):
     monkeypatch.setenv(resilience.ENV_KERNEL_MEM_MB, "1024")
     kernel, tensors = _build()
     sabotage(kernel, OomKernel())
@@ -125,6 +142,18 @@ def test_memory_cap_kill_is_decoded(monkeypatch):
         kernel.run(tensors, parallel=False, supervised=True)
     assert err.value.signal == signal.SIGKILL
     assert err.value.signal_name == "SIGKILL"
+
+
+def test_injected_child_fault_raise_mode_is_contained(monkeypatch):
+    """``raise`` mode at the supervised_child site escapes the child's
+    reporting machinery (the fault fires before the try block), so the
+    child exits nonzero — which the parent decodes to a typed
+    KernelCrashError, not a hang or a silent success."""
+    monkeypatch.setenv(resilience.ENV_FAULT, "supervised_child:raise")
+    resilience.reset_fault_counters()
+    kernel, tensors = _build()
+    with pytest.raises(KernelCrashError):
+        kernel.run(tensors, parallel=False, supervised=True)
 
 
 def test_infinite_loop_misses_deadline(monkeypatch):
